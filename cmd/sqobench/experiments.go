@@ -1,0 +1,401 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sqo "repro"
+	"repro/internal/chase"
+	"repro/internal/tcm"
+	"repro/internal/workload"
+)
+
+// runF1 reproduces Figure 1: the query forest of the Section 4
+// running example must have exactly three roots (p1, p2, p3) and the
+// rewritten program exactly the six rules s1..s6 (plus wrappers).
+func runF1() {
+	p := sqo.MustParseProgram(figure1Src)
+	ics := sqo.MustParseICs(`:- a(X, Y), b(Y, Z).`)
+	start := time.Now()
+	res, err := sqo.Optimize(p, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	core := 0
+	for _, r := range res.Program.Rules {
+		if r.Head.Pred != "p" {
+			core++
+		}
+	}
+	s := res.Tree.Stats()
+	fmt.Printf("roots=%d (paper: 3)   core rules=%d (paper: s1..s6 = 6)   construction=%v\n",
+		s.Roots, core, elapsed.Round(time.Microsecond))
+	fmt.Println("rewritten program:")
+	fmt.Print(sqo.FormatProgram(res.Program))
+}
+
+// runE1 measures Example 3.1: the ic ":- startPoint(X), endPoint(Y),
+// Y <= X" adds Y > X to goodPath, cutting the start x end join.
+func runE1() {
+	// Example 3.1 rewrites only rule r3, so the experiment isolates it:
+	// path is materialized as an EDB relation and the program is the
+	// single goodPath rule. The residue Y > X skips the endPoint join
+	// for the backward path tuples — real work under the paper's
+	// 1995-era scan-based cost model, largely absorbed by hash
+	// indexes (both engines reported).
+	p := sqo.MustParseProgram(`
+		goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+		?- goodPath.
+	`)
+	ics := sqo.MustParseICs(`:- startPoint(X), endPoint(Y), Y <= X.`)
+	res, err := sqo.Optimize(p, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shapes := [][2]int{{20, 20}, {40, 40}, {80, 80}}
+	if *quick {
+		shapes = [][2]int{{20, 20}}
+	}
+	header("starts k", "fanout m", "engine", "orig probes", "opt probes", "speedup", "agree")
+	for _, sh := range shapes {
+		db := sqo.NewDBFrom(workload.StarPaths(sh[0], sh[1]))
+		for _, eng := range engines() {
+			mo := measureWith(p, db, eng.opts)
+			mr := measureWith(res.Program, db, eng.opts)
+			fmt.Printf("%8d | %8d | %7s | %11d | %10d | %7s | %v\n",
+				sh[0], sh[1], eng.name, mo.probes, mr.probes,
+				ratio(mo.probes, mr.probes), mo.answers == mr.answers)
+		}
+	}
+}
+
+// runE2 measures the Section 3 example: thresholds pushed through the
+// recursion eliminate the sub-100 chain entirely.
+func runE2() {
+	p := sqo.MustParseProgram(goodPathSrc)
+	ics := sqo.MustParseICs(`
+		:- startPoint(X), step(X, Y), X < 100.
+		:- step(X, Y), X >= Y.
+	`)
+	res, err := sqo.Optimize(p, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lows := []int{50, 100, 200, 400}
+	if *quick {
+		lows = []int{50, 100}
+	}
+	header("lowN", "engine", "orig derived", "opt derived", "derived speedup", "orig probes", "opt probes", "probe speedup")
+	for _, low := range lows {
+		db := sqo.NewDBFrom(workload.GoodPath(low, 100, 40))
+		for _, eng := range engines() {
+			mo := measureWith(p, db, eng.opts)
+			mr := measureWith(res.Program, db, eng.opts)
+			fmt.Printf("%4d | %7s | %12d | %11d | %15s | %11d | %10d | %13s\n",
+				low, eng.name, mo.derived, mr.derived, ratio(mo.derived, mr.derived),
+				mo.probes, mr.probes, ratio(mo.probes, mr.probes))
+		}
+	}
+}
+
+// runE3 measures the Figure 1 semantics: the rewritten program never
+// attempts the a-then-b joins the constraint forbids.
+func runE3() {
+	p := sqo.MustParseProgram(figure1Src)
+	ics := sqo.MustParseICs(`:- a(X, Y), b(Y, Z).`)
+	res, err := sqo.Optimize(p, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shapes := [][3]int{{4, 10, 10}, {8, 14, 14}, {12, 18, 18}}
+	if *quick {
+		shapes = [][3]int{{4, 10, 10}}
+	}
+	header("width", "bLen", "aLen", "engine", "orig probes", "opt probes", "speedup", "agree")
+	for _, sh := range shapes {
+		db := sqo.NewDBFrom(workload.ABComb(sh[0], sh[1], sh[2]))
+		for _, eng := range engines() {
+			mo := measureWith(p, db, eng.opts)
+			mr := measureWith(res.Program, db, eng.opts)
+			fmt.Printf("%5d | %4d | %4d | %7s | %11d | %10d | %7s | %v\n",
+				sh[0], sh[1], sh[2], eng.name, mo.probes, mr.probes,
+				ratio(mo.probes, mr.probes), mo.answers == mr.answers)
+		}
+	}
+}
+
+// runE4 measures construction cost as the number of edge flavours and
+// chain constraints grows (the doubly-exponential worst case of
+// Theorem 5.1 stays out of reach of small k, but growth is visible).
+func runE4() {
+	ks := []int{1, 2, 3, 4}
+	if *quick {
+		ks = []int{1, 2, 3}
+	}
+	header("flavours k", "rules", "ics", "goal nodes", "rule nodes", "adornments", "time")
+	for _, k := range ks {
+		src := ""
+		for i := 0; i < k; i++ {
+			src += fmt.Sprintf("p(X, Y) :- e%d(X, Y).\n", i)
+			src += fmt.Sprintf("p(X, Y) :- e%d(X, Z), p(Z, Y).\n", i)
+		}
+		src += "?- p.\n"
+		icsSrc := ""
+		for i := 0; i+1 < k; i++ {
+			icsSrc += fmt.Sprintf(":- e%d(X, Y), e%d(Y, Z).\n", i+1, i)
+		}
+		p := sqo.MustParseProgram(src)
+		ics := sqo.MustParseICs(icsSrc)
+		start := time.Now()
+		res, err := sqo.Optimize(p, ics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		s := res.Tree.Stats()
+		fmt.Printf("%10d | %5d | %3d | %10d | %10d | %10d | %v\n",
+			k, 2*k, len(ics), s.GoalNodes, s.RuleNodes, s.Adornments, elapsed.Round(time.Microsecond))
+	}
+}
+
+// runE5 measures NP emptiness decisions (Theorem 5.2(1)) on join
+// chains of growing length.
+func runE5() {
+	ls := []int{2, 4, 6, 8}
+	if *quick {
+		ls = []int{2, 4}
+	}
+	header("chain len", "verdict", "time")
+	for _, l := range ls {
+		src := fmt.Sprintf("q(X0, X%d) :- %s.\n?- q.\n", l, joinChain(l))
+		p := sqo.MustParseProgram(src)
+		// Forbid the middle join.
+		mid := l / 2
+		ics := sqo.MustParseICs(fmt.Sprintf(":- r%d(X, Y), r%d(Y, Z).", mid-1, mid))
+		start := time.Now()
+		empty, decided, err := sqo.Empty(p, ics, sqo.EmptinessOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "nonempty"
+		if empty {
+			verdict = "empty"
+		}
+		if !decided {
+			verdict = "unknown"
+		}
+		fmt.Printf("%9d | %8s | %v\n", l, verdict, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+func joinChain(l int) string {
+	s := ""
+	for i := 0; i < l; i++ {
+		s += fmt.Sprintf("r%d(X%d, X%d), ", i, i, i+1)
+	}
+	s = s[:len(s)-2]
+	// Head variables X0 and Xl.
+	return s
+}
+
+// runE6 cross-checks the two directions of Proposition 5.1 on fixed
+// instances: satisfiability computed directly must equal
+// non-containment computed through the reduction.
+func runE6() {
+	cases := []struct {
+		name string
+		prog string
+		ics  string
+	}{
+		{"unsat join", `q(X, Z) :- a(X, Y), b(Y, Z).
+			?- q.`, `:- a(X, Y), b(Y, Z).`},
+		{"sat join", `q(X, Z) :- a(X, Y), b(W, Z).
+			?- q.`, `:- a(X, Y), b(Y, Z).`},
+		{"recursive", `q(X, Y) :- a(X, Y).
+			q(X, Y) :- a(X, Z), q(Z, Y).
+			?- q.`, `:- a(X, Y), a(Y, Z).`},
+	}
+	header("case", "satisfiable", "reduction agrees", "time")
+	for _, c := range cases {
+		p := sqo.MustParseProgram(c.prog)
+		ics := sqo.MustParseICs(c.ics)
+		start := time.Now()
+		sat, err := sqo.Satisfiable(p, ics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rp, ucq, err := satAsNonContainment(p, ics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		contained, err := sqo.ProgramContainedInUCQ(rp, ucq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s | %11v | %16v | %v\n",
+			c.name, sat, sat == !contained, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// runE7 exercises the Theorem 5.4 reduction on concrete machines.
+func runE7() {
+	type mcase struct {
+		name  string
+		m     *sqo.Machine
+		steps int
+	}
+	cases := []mcase{
+		{"halting-2", tcm.Halting2Step(), 10},
+		{"countdown-2", tcm.CountdownMachine(2), 50},
+		{"countdown-4", tcm.CountdownMachine(4), 100},
+		{"diverging", tcm.Diverging(), 12},
+	}
+	if *quick {
+		cases = cases[:2]
+	}
+	header("machine", "halted", "trace consistent", "halt derived", "EDB size", "ICs")
+	for _, c := range cases {
+		prog, ics, err := sqo.EncodeTwoCounter(c.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		facts, halted := sqo.TwoCounterTraceDB(c.m, c.steps)
+		consistent, err := chase.IsConsistent(facts, ics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuples, _, err := sqo.Query(prog, sqo.NewDBFrom(facts))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s | %6v | %16v | %12v | %8d | %3d\n",
+			c.name, halted, consistent, len(tuples) == 1, len(facts), len(ics))
+	}
+}
+
+// runE8 demonstrates Proposition 5.2: recursion cannot resurrect an
+// empty initialization.
+func runE8() {
+	p := sqo.MustParseProgram(`
+		q(X, Z) :- a(X, Y), b(Y, Z).
+		q(X, Z) :- c(X, Y), q(Y, Z).
+		?- q.
+	`)
+	ics := sqo.MustParseICs(`:- a(X, Y), b(Y, Z).`)
+	empty, decided, err := sqo.Empty(p, ics, sqo.EmptinessOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat, err := sqo.Satisfiable(p, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("init rules unsatisfiable -> program empty=%v (decided=%v); full query-tree satisfiability agrees: satisfiable=%v\n",
+		empty, decided, sat)
+}
+
+// runA1 ablates the pipeline passes on the E2 workload.
+func runA1() {
+	p := sqo.MustParseProgram(goodPathSrc)
+	ics := sqo.MustParseICs(`
+		:- startPoint(X), step(X, Y), X < 100.
+		:- step(X, Y), X >= Y.
+	`)
+	db := sqo.NewDBFrom(workload.GoodPath(200, 100, 40))
+	configs := []struct {
+		name string
+		opts sqo.Options
+	}{
+		{"full pipeline", sqo.DefaultOptions()},
+		{"no push-order", sqo.Options{NormalizeOrder: true, LocalRewrite: true, PushOrder: false}},
+		{"no local-rewrite", sqo.Options{NormalizeOrder: true, LocalRewrite: false, PushOrder: true}},
+		{"core only", sqo.Options{}},
+	}
+	base := measure(p, db)
+	header("configuration", "derived", "probes", "probe speedup vs original")
+	fmt.Printf("%-16s | %7d | %8d | %s\n", "original program", base.derived, base.probes, "1.0x")
+	for _, c := range configs {
+		res, err := sqo.OptimizeWith(p, ics, c.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := measure(res.Program, db)
+		if m.answers != base.answers {
+			log.Fatalf("config %q changed the answers", c.name)
+		}
+		fmt.Printf("%-16s | %7d | %8d | %s\n", c.name, m.derived, m.probes, ratio(base.probes, m.probes))
+	}
+}
+
+// runA2 compares the [CGM88] per-rule baseline with the query tree on
+// the Figure 1 workload: the baseline cannot see the cross-rule
+// interaction, so it leaves the program unchanged.
+func runA2() {
+	p := sqo.MustParseProgram(figure1Src)
+	ics := sqo.MustParseICs(`:- a(X, Y), b(Y, Z).`)
+	res, err := sqo.Optimize(p, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := sqo.BaselineOptimize(p, ics)
+	db := sqo.NewDBFrom(workload.ABComb(8, 14, 14))
+	header("optimizer", "rules", "engine", "probes", "speedup")
+	for _, eng := range engines() {
+		mo := measureWith(p, db, eng.opts)
+		mb := measureWith(baseline, db, eng.opts)
+		mt := measureWith(res.Program, db, eng.opts)
+		fmt.Printf("%-12s | %5d | %7s | %8d | %s\n", "none", len(p.Rules), eng.name, mo.probes, "1.0x")
+		fmt.Printf("%-12s | %5d | %7s | %8d | %s\n", "[CGM88]", len(baseline.Rules), eng.name, mb.probes, ratio(mo.probes, mb.probes))
+		fmt.Printf("%-12s | %5d | %7s | %8d | %s\n", "query tree", len(res.Program.Rules), eng.name, mt.probes, ratio(mo.probes, mt.probes))
+	}
+}
+
+// runA3 ablates the evaluation engine on a plain transitive closure.
+func runA3() {
+	p := sqo.MustParseProgram(`
+		path(X, Y) :- step(X, Y).
+		path(X, Y) :- step(X, Z), path(Z, Y).
+		?- path.
+	`)
+	db := sqo.NewDBFrom(workload.Chain(1, 60))
+	configs := []struct {
+		name string
+		opts sqo.EvalOptions
+	}{
+		{"semi-naive + index", sqo.EvalOptions{Seminaive: true, UseIndex: true}},
+		{"semi-naive, no index", sqo.EvalOptions{Seminaive: true, UseIndex: false}},
+		{"naive + index", sqo.EvalOptions{Seminaive: false, UseIndex: true}},
+		{"naive, no index", sqo.EvalOptions{Seminaive: false, UseIndex: false}},
+	}
+	header("engine", "probes", "time")
+	for _, c := range configs {
+		start := time.Now()
+		_, stats, err := sqo.EvalWith(p, db, c.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s | %9d | %v\n", c.name, stats.JoinProbes, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// satAsNonContainment wraps the Proposition 5.1 reduction for E6.
+func satAsNonContainment(p *sqo.Program, ics []sqo.IC) (*sqo.Program, []sqo.Rule, error) {
+	return sqo.SatisfiabilityAsNonContainment(p, ics)
+}
+
+// engines lists the two join engines every comparison reports: the
+// scan-based engine matches the paper's 1995-era cost model, the
+// hash-indexed one a modern evaluator.
+type engineCfg struct {
+	name string
+	opts sqo.EvalOptions
+}
+
+func engines() []engineCfg {
+	return []engineCfg{
+		{"scan", sqo.EvalOptions{Seminaive: true, UseIndex: false}},
+		{"indexed", sqo.EvalOptions{Seminaive: true, UseIndex: true}},
+	}
+}

@@ -1,0 +1,113 @@
+// sqobench runs the reproduction's experiment suite — one experiment
+// per row of DESIGN.md's per-experiment index — and prints the tables
+// recorded in EXPERIMENTS.md. The paper is a theory paper with a
+// single figure, so the suite reproduces Figure 1 structurally and
+// turns the paper's worked examples and theorems into measured
+// workloads whose *shape* (who wins, by what factor, where the effect
+// comes from) is the reproduction target.
+//
+// Usage:
+//
+//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	sqo "repro"
+)
+
+var quick = flag.Bool("quick", false, "smaller sweeps")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqobench: ")
+	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3)")
+	flag.Parse()
+
+	experiments := []struct {
+		id   string
+		name string
+		fn   func()
+	}{
+		{"F1", "Figure 1: query forest and rewritten rules s1..s6", runF1},
+		{"E1", "Example 3.1: goodPath with Y > X residue", runE1},
+		{"E2", "Section 3: threshold 100 pushed into the recursion", runE2},
+		{"E3", "Section 4: no b-edge after an a-edge", runE3},
+		{"E4", "Theorem 5.1: query-tree construction cost", runE4},
+		{"E5", "Theorem 5.2(1): NP emptiness decisions", runE5},
+		{"E6", "Proposition 5.1: containment <-> satisfiability", runE6},
+		{"E7", "Theorem 5.4: two-counter-machine reduction", runE7},
+		{"E8", "Proposition 5.2: emptiness via initialization rules", runE8},
+		{"A1", "Ablation: pipeline passes on the threshold workload", runA1},
+		{"A2", "Ablation: [CGM88] per-rule baseline vs query tree", runA2},
+		{"A3", "Ablation: evaluation engine (semi-naive, indexes)", runA3},
+	}
+	for _, e := range experiments {
+		if *runSel != "" && !strings.EqualFold(*runSel, e.id) {
+			continue
+		}
+		fmt.Printf("\n=== %s — %s ===\n", e.id, e.name)
+		e.fn()
+	}
+}
+
+const goodPathSrc = `
+	path(X, Y) :- step(X, Y).
+	path(X, Y) :- step(X, Z), path(Z, Y).
+	goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+	?- goodPath.
+`
+
+const figure1Src = `
+	p(X, Y) :- a(X, Y).
+	p(X, Y) :- b(X, Y).
+	p(X, Y) :- a(X, Z), p(Z, Y).
+	p(X, Y) :- b(X, Z), p(Z, Y).
+	?- p.
+`
+
+type measurement struct {
+	answers int
+	derived int64
+	probes  int64
+	elapsed time.Duration
+}
+
+func measure(p *sqo.Program, db *sqo.DB) measurement {
+	return measureWith(p, db, sqo.EvalOptions{Seminaive: true, UseIndex: true})
+}
+
+func measureWith(p *sqo.Program, db *sqo.DB, opts sqo.EvalOptions) measurement {
+	start := time.Now()
+	idb, stats, err := sqo.EvalWith(p, db, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return measurement{
+		answers: idb.Count(p.Query),
+		derived: stats.TuplesDerived,
+		probes:  stats.JoinProbes,
+		elapsed: time.Since(start),
+	}
+}
+
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+func header(cols ...string) {
+	fmt.Println(strings.Join(cols, " | "))
+	var dashes []string
+	for _, c := range cols {
+		dashes = append(dashes, strings.Repeat("-", len(c)))
+	}
+	fmt.Println(strings.Join(dashes, "-|-"))
+}

@@ -1,0 +1,126 @@
+// sqoc — the semantic query optimizer compiler.
+//
+// Reads a datalog source (rules, integrity constraints, an optional
+// '?- pred.' query declaration, and optionally ground facts) from a
+// file or standard input, rewrites the program to completely
+// incorporate the constraints, and prints the rewritten program. With
+// facts present (or a separate facts file) it also evaluates both
+// versions and reports the answers and the work saved.
+//
+// Usage:
+//
+//	sqoc [-facts file] [-explain] [-baseline] [-stats] [file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	sqo "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqoc: ")
+	factsPath := flag.String("facts", "", "file of ground facts to evaluate both programs on")
+	explain := flag.Bool("explain", false, "print the query forest (Figure 1 style)")
+	baseline := flag.Bool("baseline", false, "also print the [CGM88] per-rule baseline rewriting")
+	stats := flag.Bool("stats", false, "print query-tree statistics")
+	why := flag.Bool("why", false, "print a derivation tree for each answer (requires facts)")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	unit, err := sqo.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if unit.Program.Query == "" {
+		log.Fatal("no query declaration ('?- pred.') in input")
+	}
+
+	res, err := sqo.Optimize(unit.Program, unit.ICs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if !res.Satisfiable {
+		fmt.Println("% the query predicate is UNSATISFIABLE with respect to the constraints")
+	}
+	fmt.Print(sqo.FormatProgram(res.Program))
+
+	if *baseline {
+		fmt.Println("\n% --- [CGM88] per-rule baseline ---")
+		fmt.Print(sqo.FormatProgram(sqo.BaselineOptimize(unit.Program, unit.ICs)))
+	}
+	if *explain {
+		fmt.Println("\n% --- query forest ---")
+		fmt.Print(sqo.Explain(res))
+	}
+	if *stats {
+		s := res.Tree.Stats()
+		fmt.Printf("\n%% goal nodes=%d (live %d) rule nodes=%d (live %d) roots=%d (live %d) adornments=%d\n",
+			s.GoalNodes, s.LiveGoals, s.RuleNodes, s.LiveRules, s.Roots, s.LiveRoots, s.Adornments)
+	}
+
+	facts := unit.Facts
+	if *factsPath != "" {
+		fsrc, err := os.ReadFile(*factsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extra, err := sqo.ParseFacts(string(fsrc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		facts = append(facts, extra...)
+	}
+	if len(facts) > 0 {
+		db := sqo.NewDBFrom(facts)
+		origTuples, origStats, err := sqo.Query(unit.Program, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optTuples, optStats, err := sqo.Query(res.Program, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%% original : %d answers, %d tuples derived, %d join probes\n",
+			len(origTuples), origStats.TuplesDerived, origStats.JoinProbes)
+		fmt.Printf("%% optimized: %d answers, %d tuples derived, %d join probes\n",
+			len(optTuples), optStats.TuplesDerived, optStats.JoinProbes)
+		for _, t := range optTuples {
+			fmt.Printf("%s%s.\n", unit.Program.Query, t)
+		}
+		if *why {
+			_, explain, _, err := sqo.EvalProv(unit.Program, db)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, t := range origTuples {
+				fact := sqo.Atom{Pred: unit.Program.Query, Args: t}
+				d, err := explain(fact)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("\n%% derivation of %s:\n%s", fact, d)
+			}
+		}
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

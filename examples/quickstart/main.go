@@ -1,0 +1,67 @@
+// Quickstart: parse a program and integrity constraints, optimize,
+// evaluate both versions, and compare the work done.
+//
+// This is Example 3.1 of the paper: goodPath connects start points to
+// end points through a transitive closure of steps, and the single
+// constraint "end points are above all start points" lets the
+// optimizer add the selection Y > X to the goodPath rule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sqo "repro"
+)
+
+func main() {
+	program, err := sqo.ParseProgram(`
+		path(X, Y) :- step(X, Y).
+		path(X, Y) :- step(X, Z), path(Z, Y).
+		goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+		?- goodPath.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ics, err := sqo.ParseICs(`
+		:- startPoint(X), endPoint(Y), Y <= X.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sqo.Optimize(program, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== rewritten program ==")
+	fmt.Print(sqo.FormatProgram(res.Program))
+
+	// A small database satisfying the constraint.
+	facts, err := sqo.ParseFacts(`
+		step(1, 2). step(2, 3). step(3, 4). step(2, 5). step(5, 4).
+		startPoint(1). startPoint(2).
+		endPoint(4). endPoint(5).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sqo.NewDBFrom(facts)
+
+	orig, s1, err := sqo.Query(program, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, s2, err := sqo.Query(res.Program, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== answers ==")
+	fmt.Printf("original : %d tuples, %d join probes\n", len(orig), s1.JoinProbes)
+	fmt.Printf("optimized: %d tuples, %d join probes\n", len(opt), s2.JoinProbes)
+	for _, t := range opt {
+		fmt.Printf("  goodPath%s\n", t)
+	}
+}

@@ -1,0 +1,633 @@
+package adorn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/order"
+	"repro/internal/rewrite"
+	"repro/internal/unify"
+)
+
+// RuleTriplet is a combined triplet for a rule node of P1, with full
+// provenance: which triplet was chosen at each positive subgoal, and
+// which triplet of the head adornment it projects to.
+type RuleTriplet struct {
+	IC       int
+	Unmapped []int
+	// Sigma maps constraint variables to rule-space terms.
+	Sigma map[string]ast.Term
+	// ChildChoice holds, per positive subgoal, the index of the chosen
+	// triplet: for an IDB subgoal an index into the child adornment's
+	// Triplets, for an EDB subgoal an index into the occurrence's
+	// computed triplet list. Only triplets of the same constraint are
+	// referenced.
+	ChildChoice []int
+	// HeadTriplet indexes the head adornment's Triplets, or -1 when
+	// the triplet does not project (some required variable is not
+	// visible in the head).
+	HeadTriplet int
+}
+
+// key canonicalizes the rule triplet's logical content (IC, unmapped
+// set, sigma) ignoring provenance.
+func (rt RuleTriplet) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "I%d|", rt.IC)
+	for i, u := range rt.Unmapped {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", u)
+	}
+	b.WriteByte('|')
+	vars := make([]string, 0, len(rt.Sigma))
+	for v := range rt.Sigma {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(v)
+		b.WriteByte('=')
+		b.WriteString(rt.Sigma[v].Key())
+	}
+	return b.String()
+}
+
+// EDBTriplet is a triplet computed for one EDB subgoal occurrence of a
+// rule, in rule space.
+type EDBTriplet struct {
+	IC       int
+	Unmapped []int
+	Sigma    map[string]ast.Term
+}
+
+// AdornedRule is a rule of the adorned program P1.
+type AdornedRule struct {
+	// RuleIdx indexes the specialized program's rule list.
+	RuleIdx int
+	// Rule is the specialized rule (head predicate is the specialized
+	// name; adorned names are carried alongside, not in the AST).
+	Rule ast.Rule
+	// HeadPred is the specialized head predicate.
+	HeadPred string
+	// HeadAdornID identifies the head adornment within Result.Adorn.
+	HeadAdornID int
+	// ChildAdornIDs holds, per positive subgoal, the adornment id of
+	// the IDB child (-1 for EDB subgoals).
+	ChildAdornIDs []int
+	// EDBTriplets holds, per positive subgoal, the computed triplets
+	// of EDB occurrences (nil for IDB subgoals), indexed per
+	// constraint: EDBTriplets[j][ic] lists the triplets of subgoal j
+	// for constraint ic.
+	EDBTriplets []map[int][]EDBTriplet
+	// Triplets are the combined rule triplets with provenance.
+	Triplets []RuleTriplet
+	// Residues are order residues attached to this rule: for each, the
+	// negation of the conjunction must be added when emitting the rule.
+	Residues [][]ast.Cmp
+}
+
+// Result of the bottom-up phase.
+type Result struct {
+	Spec  *SpecProgram
+	Plans []rewrite.ICPlan // with constraint variables renamed apart
+	// Adorn lists the adornments of every specialized predicate;
+	// adornment ids index this slice.
+	Adorn map[string][]*Adornment
+	// Rules is the adorned rule set P1.
+	Rules []*AdornedRule
+	// RulesByHead indexes Rules by head predicate and adornment id.
+	RulesByHead map[string]map[int][]int
+	// Warnings lists skipped (unsupported) constraints.
+	Warnings []string
+
+	adornIdx map[string]map[string]int // pred -> adornment key -> id
+}
+
+// AdornID interns an adornment for a predicate and returns its id and
+// whether it was new.
+func (res *Result) AdornID(pred string, a *Adornment) (int, bool) {
+	m, ok := res.adornIdx[pred]
+	if !ok {
+		m = map[string]int{}
+		res.adornIdx[pred] = m
+	}
+	if id, ok := m[a.Key()]; ok {
+		return id, false
+	}
+	id := len(res.Adorn[pred])
+	res.Adorn[pred] = append(res.Adorn[pred], a)
+	m[a.Key()] = id
+	return id, true
+}
+
+// icVarPrefix keeps constraint variables disjoint from all program
+// variables (the parser rejects '#', and specialization introduces
+// only V<n> and suffixed names).
+const icVarPrefix = "Ic#"
+
+// BottomUp runs the bottom-up phase of Section 4.1 (with the Section
+// 4.2 local-atom modification and the quasi-local order-residue
+// generalization) over a specialized program.
+//
+// The program must already be the output of the pre-processing chain:
+// rewrite.NormalizeOrder, rewrite.RewriteLocalPlanned, Specialize.
+func BottomUp(sp *SpecProgram, ics []ast.IC) (*Result, error) {
+	// Rename constraints apart, once and globally, so σ variable names
+	// agree across all nodes.
+	renamed := make([]ast.IC, len(ics))
+	for i, ic := range ics {
+		renamed[i] = ast.RenameIC(ic, func(v string) string {
+			return fmt.Sprintf("%s%d_%s", icVarPrefix, i, v)
+		})
+	}
+	plans := rewrite.PlanICs(renamed)
+
+	res := &Result{
+		Spec:        sp,
+		Plans:       plans,
+		Adorn:       map[string][]*Adornment{},
+		RulesByHead: map[string]map[int][]int{},
+		adornIdx:    map[string]map[string]int{},
+	}
+	for _, plan := range plans {
+		if plan.Unsupported {
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("ic %d (%s) skipped: %s", plan.Index, plan.IC, plan.Reason))
+		}
+	}
+
+	idb := map[string]bool{}
+	for name := range sp.Base {
+		idb[name] = true
+	}
+
+	seenCombo := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for ri, r := range sp.Prog.Rules {
+			if combineRuleAll(res, ri, r, idb, seenCombo) {
+				changed = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// combineRuleAll enumerates every assignment of current adornments to
+// the rule's IDB subgoals, building adorned rules for assignments not
+// yet seen. It reports whether anything new was added.
+func combineRuleAll(res *Result, ri int, r ast.Rule, idb map[string]bool, seen map[string]bool) bool {
+	added := false
+	choice := make([]int, len(r.Pos))
+	var rec func(j int)
+	rec = func(j int) {
+		if j == len(r.Pos) {
+			key := comboKey(ri, choice)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			if buildAdornedRule(res, ri, r, choice) {
+				added = true
+			}
+			return
+		}
+		sub := r.Pos[j]
+		if !idb[sub.Pred] {
+			choice[j] = -1
+			rec(j + 1)
+			return
+		}
+		for id := range res.Adorn[sub.Pred] {
+			choice[j] = id
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return added
+}
+
+func comboKey(ri int, choice []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%d", ri)
+	for _, c := range choice {
+		fmt.Fprintf(&b, ",%d", c)
+	}
+	return b.String()
+}
+
+// buildAdornedRule computes the rule adornment Ar for one choice of
+// child adornments, projects the head adornment Ap, and registers both
+// (unless the combination is inconsistent). It reports whether a new
+// adornment or adorned rule was added.
+func buildAdornedRule(res *Result, ri int, r ast.Rule, choice []int) bool {
+	ruleOrder := order.NewSet(r.Cmp...)
+
+	// Per-subgoal, per-constraint triplet lists in rule space, plus
+	// the node-space index of each (for provenance).
+	type rsTriplet struct {
+		unmapped []int
+		sigma    map[string]ast.Term
+		nodeIdx  int // index into child adornment triplets / EDB list
+	}
+	nSub := len(r.Pos)
+	perSub := make([]map[int][]rsTriplet, nSub)
+	edbTriplets := make([]map[int][]EDBTriplet, nSub)
+
+	for j, sub := range r.Pos {
+		perSub[j] = map[int][]rsTriplet{}
+		if choice[j] >= 0 {
+			// IDB subgoal: convert the child adornment's node-space
+			// triplets to rule space via the occurrence's arguments.
+			ad := res.Adorn[sub.Pred][choice[j]]
+			for ti, t := range ad.Triplets {
+				sigma := map[string]ast.Term{}
+				ok := true
+				for v, im := range t.Sigma {
+					term, found := im.termAt(sub)
+					if !found {
+						ok = false
+						break
+					}
+					sigma[v] = term
+				}
+				if !ok {
+					continue
+				}
+				perSub[j][t.IC] = append(perSub[j][t.IC],
+					rsTriplet{unmapped: t.Unmapped, sigma: sigma, nodeIdx: ti})
+			}
+		} else {
+			// EDB subgoal: compute occurrence triplets directly.
+			edbTriplets[j] = map[int][]EDBTriplet{}
+			for _, plan := range res.Plans {
+				if plan.Unsupported {
+					continue
+				}
+				ts := edbOccurrenceTriplets(r, sub, plan, ruleOrder)
+				edbTriplets[j][plan.Index] = ts
+				for ti, t := range ts {
+					perSub[j][t.IC] = append(perSub[j][t.IC],
+						rsTriplet{unmapped: t.Unmapped, sigma: t.Sigma, nodeIdx: ti})
+				}
+			}
+		}
+	}
+
+	ar := &AdornedRule{
+		RuleIdx:       ri,
+		Rule:          r.Clone(),
+		HeadPred:      r.Head.Pred,
+		ChildAdornIDs: append([]int(nil), choice...),
+		EDBTriplets:   edbTriplets,
+	}
+
+	// Combine per constraint.
+	type pending struct {
+		rt      RuleTriplet
+		headKey string // projected triplet key, "" if not projectable
+		headT   Triplet
+	}
+	var pendings []pending
+	seenRT := map[string]bool{}
+	residueSeen := map[string]bool{}
+
+	for _, plan := range res.Plans {
+		if plan.Unsupported {
+			continue
+		}
+		ic := plan.IC
+		icIdx := plan.Index
+		allAtoms := make([]int, len(ic.Pos))
+		for i := range allAtoms {
+			allAtoms[i] = i
+		}
+		// Every subgoal always offers at least the trivial triplet; if
+		// a subgoal has no triplet list for this constraint (converted
+		// away), fall back to the trivial one.
+		lists := make([][]rsTriplet, nSub)
+		for j := 0; j < nSub; j++ {
+			lists[j] = perSub[j][icIdx]
+			if len(lists[j]) == 0 {
+				lists[j] = []rsTriplet{{unmapped: allAtoms, sigma: map[string]ast.Term{}, nodeIdx: trivialIdx(res, r, choice, j, icIdx, edbTriplets)}}
+			}
+		}
+		inconsistent := false
+		cur := make([]int, nSub)
+		var rec func(j int, unmapped []int, sigma map[string]ast.Term) bool
+		rec = func(j int, unmapped []int, sigma map[string]ast.Term) bool {
+			if inconsistent {
+				return false
+			}
+			if j == nSub {
+				// Restrict sigma to variables that must stay visible.
+				restricted := restrictSigma(sigma, ic, plan, unmapped)
+				if len(unmapped) == 0 {
+					if plan.PruneMode() {
+						inconsistent = true
+						return false
+					}
+					// Quasi-local residue: instantiate the non-local
+					// order atoms; skip if some variable is invisible.
+					if cmps, ok := instantiateResidue(plan.ResidueCmps, restricted); ok {
+						k := ast.CmpsKey(cmps)
+						if !residueSeen[k] {
+							residueSeen[k] = true
+							ar.Residues = append(ar.Residues, cmps)
+						}
+					}
+					return true
+				}
+				rt := RuleTriplet{
+					IC:          icIdx,
+					Unmapped:    unmapped,
+					Sigma:       restricted,
+					ChildChoice: append([]int(nil), cur...),
+					HeadTriplet: -1,
+				}
+				pk := rt.key() + "|" + comboChoiceKey(cur)
+				if seenRT[pk] {
+					return true
+				}
+				seenRT[pk] = true
+				headT, ok := projectHead(rt, r.Head)
+				p := pending{rt: rt}
+				if ok {
+					p.headKey = headT.Key()
+					p.headT = headT
+				}
+				pendings = append(pendings, p)
+				return true
+			}
+			for _, t := range lists[j] {
+				merged, ok := mergeSigma(sigma, t.sigma)
+				if !ok {
+					continue
+				}
+				cur[j] = t.nodeIdx
+				if !rec(j+1, intersect(unmapped, t.unmapped), merged) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0, allAtoms, map[string]ast.Term{})
+		if inconsistent {
+			return false // the whole adorned rule is impossible
+		}
+	}
+
+	// Build the head adornment from projectable triplets (plus the
+	// trivial ones, which always project).
+	var headTriplets []Triplet
+	for _, p := range pendings {
+		if p.headKey != "" {
+			headTriplets = append(headTriplets, p.headT)
+		}
+	}
+	headAd := NewAdornment(headTriplets)
+	id, _ := res.AdornID(r.Head.Pred, headAd)
+	ar.HeadAdornID = id
+	for _, p := range pendings {
+		rt := p.rt
+		if p.headKey != "" {
+			rt.HeadTriplet = headAd.TripletIndex(p.headKey)
+		}
+		ar.Triplets = append(ar.Triplets, rt)
+	}
+
+	res.Rules = append(res.Rules, ar)
+	byHead, ok := res.RulesByHead[r.Head.Pred]
+	if !ok {
+		byHead = map[int][]int{}
+		res.RulesByHead[r.Head.Pred] = byHead
+	}
+	byHead[id] = append(byHead[id], len(res.Rules)-1)
+	return true // a new adorned rule was added (combo was unseen)
+}
+
+func comboChoiceKey(cur []int) string {
+	var b strings.Builder
+	for _, c := range cur {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	return b.String()
+}
+
+// trivialIdx returns the node-space index of the trivial triplet for
+// subgoal j and the given constraint — needed when the subgoal's list
+// was empty after conversion. For IDB children the trivial triplet is
+// always present in the adornment; for EDB occurrences it is always
+// first in the computed list.
+func trivialIdx(res *Result, r ast.Rule, choice []int, j, icIdx int, edb []map[int][]EDBTriplet) int {
+	if choice[j] >= 0 {
+		ad := res.Adorn[r.Pos[j].Pred][choice[j]]
+		for ti, t := range ad.Triplets {
+			if t.IC == icIdx && len(t.Sigma) == 0 && len(t.Unmapped) == len(res.Plans[icIdx].IC.Pos) {
+				return ti
+			}
+		}
+		return -1
+	}
+	return 0
+}
+
+// restrictSigma keeps the variables that occur in some unmapped atom
+// or in a residue order atom.
+func restrictSigma(sigma map[string]ast.Term, ic ast.IC, plan rewrite.ICPlan, unmapped []int) map[string]ast.Term {
+	keep := map[string]bool{}
+	for _, ui := range unmapped {
+		for _, v := range ic.Pos[ui].Vars(nil) {
+			keep[v] = true
+		}
+	}
+	for _, c := range plan.ResidueCmps {
+		for _, v := range c.Vars(nil) {
+			keep[v] = true
+		}
+	}
+	out := map[string]ast.Term{}
+	for v, t := range sigma {
+		if keep[v] {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// instantiateResidue applies sigma to the residue order atoms; it
+// fails if some variable has no image.
+func instantiateResidue(cmps []ast.Cmp, sigma map[string]ast.Term) ([]ast.Cmp, bool) {
+	resolve := func(t ast.Term) (ast.Term, bool) {
+		if !t.IsVar() {
+			return t, true
+		}
+		v, ok := sigma[t.Name]
+		return v, ok
+	}
+	out := make([]ast.Cmp, len(cmps))
+	for i, c := range cmps {
+		l, ok1 := resolve(c.Left)
+		r, ok2 := resolve(c.Right)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		out[i] = ast.NewCmp(l, c.Op, r)
+	}
+	return out, true
+}
+
+// projectHead converts a rule-space triplet to a node-space triplet on
+// the head atom. Every σ variable must be visible: a constant, or a
+// variable occurring in the head.
+func projectHead(rt RuleTriplet, head ast.Atom) (Triplet, bool) {
+	t := Triplet{IC: rt.IC, Unmapped: rt.Unmapped, Sigma: map[string]Image{}}
+	for v, term := range rt.Sigma {
+		im, ok := imageOf(term, head)
+		if !ok {
+			return Triplet{}, false
+		}
+		t.Sigma[v] = im
+	}
+	return t, true
+}
+
+// mergeSigma unions two rule-space sigmas, requiring agreement on
+// shared variables.
+func mergeSigma(a, b map[string]ast.Term) (map[string]ast.Term, bool) {
+	out := make(map[string]ast.Term, len(a)+len(b))
+	for v, t := range a {
+		out[v] = t
+	}
+	for v, t := range b {
+		if prev, ok := out[v]; ok {
+			if !prev.Equal(t) {
+				return nil, false
+			}
+			continue
+		}
+		out[v] = t
+	}
+	return out, true
+}
+
+// intersect returns the sorted intersection of two sorted int slices.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// edbOccurrenceTriplets computes the triplets of one EDB subgoal
+// occurrence for one constraint: one triplet per homomorphism from
+// each subset of the constraint's positive atoms into the occurrence
+// atom, subject to the Section 4.2 local-atom conditions. The trivial
+// (empty-subset) triplet is always first.
+func edbOccurrenceTriplets(r ast.Rule, occ ast.Atom, plan rewrite.ICPlan, ruleOrder *order.Set) []EDBTriplet {
+	ic := plan.IC
+	n := len(ic.Pos)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	out := []EDBTriplet{{IC: plan.Index, Unmapped: all, Sigma: map[string]ast.Term{}}}
+	seen := map[string]bool{out[0].sigKey(): true}
+
+	for mask := 1; mask < 1<<n; mask++ {
+		var mapped []ast.Atom
+		var mappedIdx []int
+		var unmapped []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				mapped = append(mapped, ic.Pos[i])
+				mappedIdx = append(mappedIdx, i)
+			} else {
+				unmapped = append(unmapped, i)
+			}
+		}
+		if !allSamePred(mapped, occ.Pred) {
+			continue // Homomorphisms would also reject; skip cheaply.
+		}
+		unify.Homomorphisms(mapped, []ast.Atom{occ}, func(h unify.Subst) bool {
+			// Section 4.2 condition: each mapped atom that anchors a
+			// local atom l requires h(l) (order) or ¬h(l) (negated
+			// EDB) to hold in the rule.
+			for _, mi := range mappedIdx {
+				for _, lp := range plan.Pairs {
+					if !lp.Anchor.Equal(ic.Pos[mi]) {
+						continue
+					}
+					if lp.OrderAtom != nil {
+						if !ruleOrder.Implies(h.ApplyCmp(*lp.OrderAtom)) {
+							return true // condition fails; skip mapping
+						}
+					} else {
+						hl := h.ApplyAtom(*lp.NegEDB)
+						if !atomIn(hl, r.Neg) {
+							return true
+						}
+					}
+				}
+			}
+			sigma := map[string]ast.Term{}
+			for _, mi := range mappedIdx {
+				for _, v := range ic.Pos[mi].Vars(nil) {
+					if _, ok := h[v]; ok {
+						sigma[v] = h.Walk(ast.V(v))
+					}
+				}
+			}
+			t := EDBTriplet{IC: plan.Index, Unmapped: unmapped,
+				Sigma: restrictSigma(sigma, ic, plan, unmapped)}
+			if k := t.sigKey(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func allSamePred(atoms []ast.Atom, pred string) bool {
+	for _, a := range atoms {
+		if a.Pred != pred {
+			return false
+		}
+	}
+	return true
+}
+
+func atomIn(a ast.Atom, as []ast.Atom) bool {
+	for _, b := range as {
+		if a.Equal(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// sigKey canonicalizes an EDB triplet.
+func (t EDBTriplet) sigKey() string {
+	rt := RuleTriplet{IC: t.IC, Unmapped: t.Unmapped, Sigma: t.Sigma}
+	return rt.key()
+}

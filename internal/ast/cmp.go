@@ -1,0 +1,173 @@
+package ast
+
+import "strings"
+
+// CmpOp is one of the six dense-order comparison predicates.
+type CmpOp uint8
+
+const (
+	LT CmpOp = iota // <
+	LE              // <=
+	GT              // >
+	GE              // >=
+	EQ              // =
+	NE              // !=
+)
+
+// String renders the operator in source syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "!="
+	}
+}
+
+// Negate returns the complementary operator over a total dense order:
+// ¬(x < y) ⇔ x >= y, ¬(x = y) ⇔ x != y, and so on.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	case EQ:
+		return NE
+	default:
+		return EQ
+	}
+}
+
+// Flip returns the operator with its operands swapped:
+// x < y ⇔ y > x, x = y ⇔ y = x.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op // EQ and NE are symmetric
+	}
+}
+
+// Cmp is an order atom γ θ δ where γ and δ are terms (variables or
+// constants) and θ is a comparison predicate over a dense total order.
+type Cmp struct {
+	Op          CmpOp
+	Left, Right Term
+}
+
+// NewCmp builds an order atom.
+func NewCmp(l Term, op CmpOp, r Term) Cmp { return Cmp{Op: op, Left: l, Right: r} }
+
+// Negate returns the complementary order atom.
+func (c Cmp) Negate() Cmp { return Cmp{Op: c.Op.Negate(), Left: c.Left, Right: c.Right} }
+
+// Flip returns the same constraint with operands swapped.
+func (c Cmp) Flip() Cmp { return Cmp{Op: c.Op.Flip(), Left: c.Right, Right: c.Left} }
+
+// Vars appends the variables of c to dst (no duplicates) and returns dst.
+func (c Cmp) Vars(dst []string) []string {
+	if c.Left.IsVar() && !containsStr(dst, c.Left.Name) {
+		dst = append(dst, c.Left.Name)
+	}
+	if c.Right.IsVar() && !containsStr(dst, c.Right.Name) {
+		dst = append(dst, c.Right.Name)
+	}
+	return dst
+}
+
+// Equal reports structural equality.
+func (c Cmp) Equal(d Cmp) bool {
+	return c.Op == d.Op && c.Left.Equal(d.Left) && c.Right.Equal(d.Right)
+}
+
+// Eval evaluates the comparison on two constant terms. It panics if
+// either side is a variable.
+func (c Cmp) Eval() bool {
+	cmp := c.Left.Compare(c.Right)
+	switch c.Op {
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	case EQ:
+		return cmp == 0
+	default:
+		return cmp != 0
+	}
+}
+
+// Key returns a canonical key for the comparison. The key normalizes
+// operand order for the symmetric operators and orients < / <= left to
+// right, so x > y and y < x share a key.
+func (c Cmp) Key() string {
+	n := c.normalize()
+	var b strings.Builder
+	b.WriteString(n.Left.Key())
+	b.WriteString(n.Op.String())
+	b.WriteString(n.Right.Key())
+	return b.String()
+}
+
+// normalize orients the comparison: GT/GE become LT/LE with flipped
+// operands, and symmetric operators order operands by Key.
+func (c Cmp) normalize() Cmp {
+	switch c.Op {
+	case GT, GE:
+		return c.Flip()
+	case EQ, NE:
+		if c.Left.Key() > c.Right.Key() {
+			return c.Flip()
+		}
+	}
+	return c
+}
+
+// String renders the order atom in source syntax.
+func (c Cmp) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// CmpsKey returns a canonical order-insensitive key for a set of order
+// atoms.
+func CmpsKey(cs []Cmp) string {
+	keys := make([]string, len(cs))
+	for i, c := range cs {
+		keys[i] = c.Key()
+	}
+	sortStrings(keys)
+	return strings.Join(keys, ";")
+}
+
+func sortStrings(xs []string) {
+	// insertion sort: the slices involved are tiny and this avoids an
+	// extra import in this file.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

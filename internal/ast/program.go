@@ -1,0 +1,193 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a datalog program: a set of rules together with a
+// distinguished query (goal) predicate.
+type Program struct {
+	Rules []Rule
+	// Query names the distinguished IDB query predicate.
+	Query string
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	out := &Program{Query: p.Query, Rules: make([]Rule, len(p.Rules))}
+	for i, r := range p.Rules {
+		out.Rules[i] = r.Clone()
+	}
+	return out
+}
+
+// IDB returns the set of IDB predicates: those appearing in rule heads.
+func (p *Program) IDB() map[string]bool {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// EDB returns the set of EDB predicates: those appearing only in rule
+// bodies (positively or negatively), never in heads.
+func (p *Program) EDB() map[string]bool {
+	idb := p.IDB()
+	edb := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Pos {
+			if !idb[a.Pred] {
+				edb[a.Pred] = true
+			}
+		}
+		for _, a := range r.Neg {
+			if !idb[a.Pred] {
+				edb[a.Pred] = true
+			}
+		}
+	}
+	return edb
+}
+
+// PredArity returns the arity of every predicate mentioned in the
+// program, or an error if some predicate is used with two different
+// arities.
+func (p *Program) PredArity() (map[string]int, error) {
+	ar := map[string]int{}
+	note := func(a Atom) error {
+		if n, ok := ar[a.Pred]; ok && n != a.Arity() {
+			return fmt.Errorf("predicate %s used with arities %d and %d", a.Pred, n, a.Arity())
+		}
+		ar[a.Pred] = a.Arity()
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := note(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Pos {
+			if err := note(a); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range r.Neg {
+			if err := note(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ar, nil
+}
+
+// RulesFor returns the rules whose head predicate is pred, in program
+// order.
+func (p *Program) RulesFor(pred string) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Validate checks the well-formedness conditions the optimizer assumes:
+// consistent arities, safety of every rule, negation applied only to
+// EDB predicates, and that the query predicate is an IDB predicate.
+func (p *Program) Validate() error {
+	if _, err := p.PredArity(); err != nil {
+		return err
+	}
+	// A query predicate with no rules is permitted and denotes the
+	// empty relation — the natural output of optimizing a query that
+	// is unsatisfiable with respect to its constraints.
+	idb := p.IDB()
+	for _, r := range p.Rules {
+		if err := r.Safe(); err != nil {
+			return err
+		}
+		for _, a := range r.Neg {
+			if idb[a.Pred] {
+				return fmt.Errorf("rule %s negates IDB predicate %s; only EDB predicates may be negated", r, a.Pred)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateICs checks that a set of integrity constraints is
+// well-formed with respect to the program: no IDB predicates in ic
+// bodies, and consistent arities with the program's EDB predicates.
+func (p *Program) ValidateICs(ics []IC) error {
+	idb := p.IDB()
+	ar, err := p.PredArity()
+	if err != nil {
+		return err
+	}
+	for i, ic := range ics {
+		for _, a := range append(append([]Atom{}, ic.Pos...), ic.Neg...) {
+			if idb[a.Pred] {
+				return fmt.Errorf("ic %d (%s): IDB predicate %s not allowed in ic bodies", i, ic, a.Pred)
+			}
+			if n, ok := ar[a.Pred]; ok && n != a.Arity() {
+				return fmt.Errorf("ic %d (%s): predicate %s has arity %d in the program but %d here", i, ic, a.Pred, n, a.Arity())
+			}
+		}
+		// Every variable of an order atom or negated atom should occur
+		// in some atom of the ic; otherwise the ic can never be
+		// evaluated meaningfully against a database.
+		posVars := map[string]bool{}
+		for _, a := range ic.Pos {
+			for _, v := range a.Vars(nil) {
+				posVars[v] = true
+			}
+		}
+		for _, a := range ic.Neg {
+			for _, v := range a.Vars(nil) {
+				posVars[v] = true
+			}
+		}
+		for _, c := range ic.Cmp {
+			for _, v := range c.Vars(nil) {
+				if !posVars[v] {
+					return fmt.Errorf("ic %d (%s): order-atom variable %s occurs in no relational atom", i, ic, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the program in source syntax, one rule per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedPreds returns the program's predicates sorted by name,
+// IDB and EDB combined; handy for deterministic output.
+func (p *Program) SortedPreds() []string {
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		set[r.Head.Pred] = true
+		for _, a := range r.Pos {
+			set[a.Pred] = true
+		}
+		for _, a := range r.Neg {
+			set[a.Pred] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package ast
+
+import "strconv"
+
+// RenameAtom returns a copy of a with every variable renamed by f.
+func RenameAtom(a Atom, f func(string) string) Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		if t.IsVar() {
+			out.Args[i] = V(f(t.Name))
+		}
+	}
+	return out
+}
+
+// RenameCmp returns a copy of c with every variable renamed by f.
+func RenameCmp(c Cmp, f func(string) string) Cmp {
+	if c.Left.IsVar() {
+		c.Left = V(f(c.Left.Name))
+	}
+	if c.Right.IsVar() {
+		c.Right = V(f(c.Right.Name))
+	}
+	return c
+}
+
+// RenameRule returns a copy of r with every variable renamed by f.
+func RenameRule(r Rule, f func(string) string) Rule {
+	out := Rule{Head: RenameAtom(r.Head, f)}
+	for _, a := range r.Pos {
+		out.Pos = append(out.Pos, RenameAtom(a, f))
+	}
+	for _, a := range r.Neg {
+		out.Neg = append(out.Neg, RenameAtom(a, f))
+	}
+	for _, c := range r.Cmp {
+		out.Cmp = append(out.Cmp, RenameCmp(c, f))
+	}
+	return out
+}
+
+// RenameIC returns a copy of ic with every variable renamed by f.
+func RenameIC(ic IC, f func(string) string) IC {
+	out := IC{}
+	for _, a := range ic.Pos {
+		out.Pos = append(out.Pos, RenameAtom(a, f))
+	}
+	for _, a := range ic.Neg {
+		out.Neg = append(out.Neg, RenameAtom(a, f))
+	}
+	for _, c := range ic.Cmp {
+		out.Cmp = append(out.Cmp, RenameCmp(c, f))
+	}
+	return out
+}
+
+// Freshener hands out rename functions that make variable sets
+// disjoint: each call to Next returns a renamer that appends a unique
+// suffix to every variable name.
+type Freshener struct{ n int }
+
+// Next returns a fresh renaming function.
+func (f *Freshener) Next() func(string) string {
+	f.n++
+	suffix := "_" + strconv.Itoa(f.n)
+	return func(v string) string { return v + suffix }
+}
+
+// FreshVar returns a variable name that cannot collide with
+// user-written variables (parser forbids '#').
+func (f *Freshener) FreshVar(base string) string {
+	f.n++
+	return base + "#" + strconv.Itoa(f.n)
+}
+
+// CanonicalizeAtom renames the variables of a to V0, V1, ... in order
+// of first occurrence, returning the renamed atom and the mapping from
+// old to new names. Two atoms are isomorphic iff their canonical forms
+// are equal.
+func CanonicalizeAtom(a Atom) (Atom, map[string]string) {
+	m := map[string]string{}
+	out := a.Clone()
+	for i, t := range out.Args {
+		if !t.IsVar() {
+			continue
+		}
+		nn, ok := m[t.Name]
+		if !ok {
+			nn = "V" + strconv.Itoa(len(m))
+			m[t.Name] = nn
+		}
+		out.Args[i] = V(nn)
+	}
+	return out, m
+}

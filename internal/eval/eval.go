@@ -1,0 +1,383 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Stats reports instrumentation collected during evaluation.
+type Stats struct {
+	// Iterations is the number of fixpoint rounds executed.
+	Iterations int
+	// RuleFirings counts complete rule instantiations that produced a
+	// (possibly duplicate) head fact.
+	RuleFirings int64
+	// TuplesDerived counts distinct new IDB tuples.
+	TuplesDerived int64
+	// JoinProbes counts candidate tuples examined while extending
+	// partial rule instantiations — the dominant cost of evaluation
+	// and the quantity semantic query optimization reduces.
+	JoinProbes int64
+}
+
+// Options configures evaluation.
+type Options struct {
+	// Seminaive selects semi-naive evaluation (the default when using
+	// Eval); naive evaluation recomputes every rule over the full
+	// database each round.
+	Seminaive bool
+	// UseIndex enables hash-index lookups on bound argument positions;
+	// when false every subgoal performs a full scan (for ablation).
+	UseIndex bool
+	// MaxTuples aborts evaluation when the total number of derived IDB
+	// tuples exceeds the bound (0 = unlimited). Guards runaway tests.
+	MaxTuples int64
+}
+
+// DefaultOptions are the options used by Eval.
+func DefaultOptions() Options {
+	return Options{Seminaive: true, UseIndex: true}
+}
+
+// Eval evaluates the program bottom-up over the given EDB and returns
+// a database containing the IDB relations (the EDB is not modified and
+// not included in the result).
+func Eval(p *ast.Program, edb *DB) (*DB, *Stats, error) {
+	return EvalWith(p, edb, DefaultOptions())
+}
+
+// EvalWith evaluates with explicit options.
+func EvalWith(p *ast.Program, edb *DB, opts Options) (*DB, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ev := &evaluator{prog: p, edb: edb, idb: NewDB(), opts: opts, stats: &Stats{}}
+	if err := ev.run(); err != nil {
+		return nil, nil, err
+	}
+	return ev.idb, ev.stats, nil
+}
+
+type evaluator struct {
+	prog  *ast.Program
+	edb   *DB
+	idb   *DB
+	delta *DB // tuples new in the previous round (semi-naive)
+	opts  Options
+	stats *Stats
+	idbPr map[string]bool
+	arity map[string]int
+	prov  *Provenance // non-nil when provenance tracking is on
+}
+
+func (ev *evaluator) run() error {
+	ev.idbPr = ev.prog.IDB()
+	ar, err := ev.prog.PredArity()
+	if err != nil {
+		return err
+	}
+	ev.arity = ar
+	// Materialize empty IDB relations so lookups are uniform.
+	for pred := range ev.idbPr {
+		ev.idb.Rel(pred, ar[pred])
+	}
+
+	if ev.opts.Seminaive {
+		return ev.runSeminaive()
+	}
+	return ev.runNaive()
+}
+
+// runNaive recomputes every rule over the full database until no new
+// tuples appear.
+func (ev *evaluator) runNaive() error {
+	for {
+		ev.stats.Iterations++
+		newFacts := 0
+		for _, r := range ev.prog.Rules {
+			n, err := ev.applyRule(r, -1)
+			if err != nil {
+				return err
+			}
+			newFacts += n
+		}
+		if newFacts == 0 {
+			return nil
+		}
+	}
+}
+
+// runSeminaive implements standard semi-naive evaluation: each round,
+// every rule is evaluated once per IDB subgoal occurrence, with that
+// occurrence restricted to the previous round's delta.
+func (ev *evaluator) runSeminaive() error {
+	// Round 0: initialization — all rules over the (empty) IDB; only
+	// rules whose IDB subgoals are trivially satisfied (i.e. none) can
+	// fire.
+	ev.delta = NewDB()
+	for pred := range ev.idbPr {
+		ev.delta.Rel(pred, ev.arity[pred])
+	}
+	ev.stats.Iterations++
+	for _, r := range ev.prog.Rules {
+		if !r.IsInit(ev.idbPr) {
+			continue
+		}
+		if _, err := ev.applyRule(r, -1); err != nil {
+			return err
+		}
+	}
+	// ev.applyRule recorded new tuples into both idb and delta.
+	for {
+		if ev.delta.totalLen() == 0 {
+			return nil
+		}
+		prevDelta := ev.delta
+		ev.delta = NewDB()
+		for pred := range ev.idbPr {
+			ev.delta.Rel(pred, ev.arity[pred])
+		}
+		ev.stats.Iterations++
+		for _, r := range ev.prog.Rules {
+			idbOccs := ev.idbOccurrences(r)
+			if len(idbOccs) == 0 {
+				continue // init rules never fire again
+			}
+			for _, occ := range idbOccs {
+				if _, err := ev.applyRuleDelta(r, occ, prevDelta); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+func (db *DB) totalLen() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// idbOccurrences returns the indices of positive subgoals with IDB
+// predicates.
+func (ev *evaluator) idbOccurrences(r ast.Rule) []int {
+	var out []int
+	for i, a := range r.Pos {
+		if ev.idbPr[a.Pred] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// applyRule evaluates rule r over the full database. deltaOcc == -1
+// means no delta restriction. It returns the number of new tuples.
+func (ev *evaluator) applyRule(r ast.Rule, deltaOcc int) (int, error) {
+	return ev.applyRuleDelta(r, deltaOcc, nil)
+}
+
+// applyRuleDelta evaluates r with subgoal occurrence deltaOcc (if
+// >= 0) restricted to the delta database.
+func (ev *evaluator) applyRuleDelta(r ast.Rule, deltaOcc int, delta *DB) (int, error) {
+	binding := map[string]ast.Term{}
+	return ev.joinFrom(r, 0, deltaOcc, delta, binding)
+}
+
+// joinFrom recursively extends the binding over positive subgoals
+// starting at index i, applying comparison and negation filters as
+// soon as they become ground, and emits head facts at the end.
+func (ev *evaluator) joinFrom(r ast.Rule, i, deltaOcc int, delta *DB, binding map[string]ast.Term) (int, error) {
+	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
+		return 0, fmt.Errorf("eval: derived-tuple budget of %d exceeded", ev.opts.MaxTuples)
+	}
+	if i == len(r.Pos) {
+		return ev.finishRule(r, binding)
+	}
+	sub := r.Pos[i]
+	var rel *Relation
+	if deltaOcc == i {
+		rel = delta.Lookup(sub.Pred)
+	} else if ev.idbPr[sub.Pred] {
+		rel = ev.idb.Lookup(sub.Pred)
+	} else {
+		rel = ev.edb.Lookup(sub.Pred)
+	}
+	if rel == nil || rel.Len() == 0 {
+		return 0, nil
+	}
+
+	// Determine bound positions under the current binding.
+	var boundPos []int
+	var boundVals []ast.Term
+	for j, t := range sub.Args {
+		switch {
+		case t.IsConst():
+			boundPos = append(boundPos, j)
+			boundVals = append(boundVals, t)
+		default:
+			if v, ok := binding[t.Name]; ok {
+				boundPos = append(boundPos, j)
+				boundVals = append(boundVals, v)
+			}
+		}
+	}
+
+	var candidates []int
+	indexed := ev.opts.UseIndex && len(boundPos) > 0
+	if indexed {
+		// NOTE: an empty result is a successful (and final) lookup —
+		// it must not fall back to a full scan.
+		candidates = rel.lookup(boundPos, boundVals)
+	}
+
+	total := 0
+	tryTuple := func(t Tuple) error {
+		ev.stats.JoinProbes++
+		// Extend the binding; track which variables we bind so we can
+		// undo on backtrack.
+		var boundHere []string
+		ok := true
+		for j, argT := range sub.Args {
+			if argT.IsConst() {
+				if !argT.Equal(t[j]) {
+					ok = false
+					break
+				}
+				continue
+			}
+			if v, exists := binding[argT.Name]; exists {
+				if !v.Equal(t[j]) {
+					ok = false
+					break
+				}
+				continue
+			}
+			binding[argT.Name] = t[j]
+			boundHere = append(boundHere, argT.Name)
+		}
+		if ok && ev.filtersHold(r, binding) {
+			n, err := ev.joinFrom(r, i+1, deltaOcc, delta, binding)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		for _, v := range boundHere {
+			delete(binding, v)
+		}
+		return nil
+	}
+
+	if indexed {
+		for _, ci := range candidates {
+			if err := tryTuple(rel.tuples[ci]); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for _, t := range rel.tuples {
+			if err := tryTuple(t); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// filtersHold applies every comparison and negated subgoal whose
+// variables are fully bound. Unbound filters are deferred (they will
+// be checked again deeper in the join; by safety they are ground by
+// the time all positive subgoals are matched).
+func (ev *evaluator) filtersHold(r ast.Rule, binding map[string]ast.Term) bool {
+	for _, c := range r.Cmp {
+		l, lok := resolve(c.Left, binding)
+		rr, rok := resolve(c.Right, binding)
+		if !lok || !rok {
+			continue
+		}
+		if !ast.NewCmp(l, c.Op, rr).Eval() {
+			return false
+		}
+	}
+	for _, n := range r.Neg {
+		g, ok := groundAtom(n, binding)
+		if !ok {
+			continue
+		}
+		if ev.edb.Contains(g) {
+			return false
+		}
+	}
+	return true
+}
+
+func resolve(t ast.Term, binding map[string]ast.Term) (ast.Term, bool) {
+	if !t.IsVar() {
+		return t, true
+	}
+	v, ok := binding[t.Name]
+	return v, ok
+}
+
+func groundAtom(a ast.Atom, binding map[string]ast.Term) (ast.Atom, bool) {
+	out := a.Clone()
+	for i, t := range out.Args {
+		v, ok := resolve(t, binding)
+		if !ok {
+			return ast.Atom{}, false
+		}
+		out.Args[i] = v
+	}
+	return out, true
+}
+
+// finishRule emits the head fact for a complete binding.
+func (ev *evaluator) finishRule(r ast.Rule, binding map[string]ast.Term) (int, error) {
+	// All filters are ground now; re-check (cheap, and covers filters
+	// that never became ground mid-join).
+	if !ev.filtersHold(r, binding) {
+		return 0, nil
+	}
+	head, ok := groundAtom(r.Head, binding)
+	if !ok {
+		return 0, fmt.Errorf("eval: unsafe rule slipped through validation: %s", r)
+	}
+	ev.stats.RuleFirings++
+	if ev.idb.AddFact(head) {
+		ev.stats.TuplesDerived++
+		if ev.delta != nil {
+			ev.delta.AddFact(head)
+		}
+		if ev.prov != nil {
+			inst := ast.Rule{Head: head}
+			for _, a := range r.Pos {
+				g, _ := groundAtom(a, binding)
+				inst.Pos = append(inst.Pos, g)
+			}
+			for _, a := range r.Neg {
+				g, _ := groundAtom(a, binding)
+				inst.Neg = append(inst.Neg, g)
+			}
+			ev.prov.steps[head.Key()] = provStep{rule: inst, body: inst.Pos}
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Query evaluates the program and returns the tuples of its query
+// predicate.
+func Query(p *ast.Program, edb *DB) ([]Tuple, *Stats, error) {
+	idb, stats, err := Eval(p, edb)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := idb.Lookup(p.Query)
+	if r == nil {
+		return nil, stats, nil
+	}
+	return r.Tuples(), stats, nil
+}

@@ -1,0 +1,340 @@
+// Package order decides satisfiability and implication for
+// conjunctions of order atoms (γ θ δ with θ ∈ {<, <=, >, >=, =, !=})
+// interpreted over a dense total order containing all constants.
+//
+// The solver builds a constraint graph whose nodes are variables and
+// constants, condenses its ≤-cycles into equivalence classes, and then
+// checks for contradictions: a strict edge inside a class, two
+// distinct constants in one class, a ≠ pair forced equal, or a class
+// squeezed between constant bounds that leave it empty. Density of the
+// order guarantees everything else is realizable.
+//
+// Implication is decided by refutation: C ⊨ a iff C ∧ ¬a is
+// unsatisfiable, which is sound and complete over a dense order
+// because the negation of each comparison operator is again a single
+// comparison.
+package order
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Set is a conjunction of order atoms. The zero value is the empty
+// (trivially satisfiable) conjunction.
+type Set struct {
+	atoms []ast.Cmp
+}
+
+// NewSet returns a Set holding the given atoms.
+func NewSet(atoms ...ast.Cmp) *Set {
+	s := &Set{}
+	for _, a := range atoms {
+		s.Add(a)
+	}
+	return s
+}
+
+// Add appends an atom to the conjunction (duplicates are ignored).
+func (s *Set) Add(c ast.Cmp) {
+	for _, e := range s.atoms {
+		if e.Key() == c.Key() {
+			return
+		}
+	}
+	s.atoms = append(s.atoms, c)
+}
+
+// AddAll appends all atoms of the slice.
+func (s *Set) AddAll(cs []ast.Cmp) {
+	for _, c := range cs {
+		s.Add(c)
+	}
+}
+
+// Atoms returns the atoms of the conjunction (shared slice; callers
+// must not modify it).
+func (s *Set) Atoms() []ast.Cmp { return s.atoms }
+
+// Clone returns a copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{atoms: append([]ast.Cmp(nil), s.atoms...)}
+}
+
+// Len returns the number of distinct atoms.
+func (s *Set) Len() int { return len(s.atoms) }
+
+// String renders the conjunction deterministically.
+func (s *Set) String() string {
+	parts := make([]string, len(s.atoms))
+	for i, a := range s.atoms {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// graph is the internal constraint-graph representation.
+type graph struct {
+	ids   map[string]int // term key -> node id
+	terms []ast.Term     // node id -> representative term
+	// adj[u][v] holds the strongest edge strength u → v:
+	// 0 = none, 1 = u <= v, 2 = u < v.
+	adj [][]uint8
+	neq [][2]int // pairs constrained to be different
+	bad bool     // immediate contradiction (e.g. 2 < 1 on constants)
+}
+
+func (g *graph) node(t ast.Term) int {
+	k := t.Key()
+	if id, ok := g.ids[k]; ok {
+		return id
+	}
+	id := len(g.terms)
+	g.ids[k] = id
+	g.terms = append(g.terms, t)
+	for i := range g.adj {
+		g.adj[i] = append(g.adj[i], 0)
+	}
+	g.adj = append(g.adj, make([]uint8, id+1))
+	return id
+}
+
+func (g *graph) edge(u, v int, strength uint8) {
+	if g.adj[u][v] < strength {
+		g.adj[u][v] = strength
+	}
+}
+
+// build constructs the constraint graph for the conjunction, adding
+// the implicit total order among the constants that appear.
+func (s *Set) build() *graph {
+	g := &graph{ids: map[string]int{}}
+	for _, a := range s.atoms {
+		u, v := g.node(a.Left), g.node(a.Right)
+		switch a.Op {
+		case ast.LT:
+			g.edge(u, v, 2)
+		case ast.LE:
+			g.edge(u, v, 1)
+		case ast.GT:
+			g.edge(v, u, 2)
+		case ast.GE:
+			g.edge(v, u, 1)
+		case ast.EQ:
+			g.edge(u, v, 1)
+			g.edge(v, u, 1)
+		case ast.NE:
+			g.neq = append(g.neq, [2]int{u, v})
+		}
+	}
+	// Implicit order among constants.
+	var consts []int
+	for id, t := range g.terms {
+		if t.IsConst() {
+			consts = append(consts, id)
+		}
+	}
+	for i := 0; i < len(consts); i++ {
+		for j := i + 1; j < len(consts); j++ {
+			a, b := consts[i], consts[j]
+			switch g.terms[a].Compare(g.terms[b]) {
+			case -1:
+				g.edge(a, b, 2)
+			case 1:
+				g.edge(b, a, 2)
+			}
+		}
+	}
+	return g
+}
+
+// closure runs Floyd–Warshall over edge strengths: combining a path
+// through k, the strength of u→v is max over min-combinations; a path
+// is strict if any hop is strict.
+func (g *graph) closure() {
+	n := len(g.terms)
+	for k := 0; k < n; k++ {
+		for u := 0; u < n; u++ {
+			if g.adj[u][k] == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if g.adj[k][v] == 0 {
+					continue
+				}
+				st := g.adj[u][k]
+				if g.adj[k][v] > st {
+					st = g.adj[k][v]
+				}
+				if g.adj[u][v] < st {
+					g.adj[u][v] = st
+				}
+			}
+		}
+	}
+}
+
+// Satisfiable reports whether some assignment of the variables into
+// the dense order satisfies every atom of the conjunction.
+func (s *Set) Satisfiable() bool {
+	g := s.build()
+	if g.bad {
+		return false
+	}
+	g.closure()
+	n := len(g.terms)
+	for u := 0; u < n; u++ {
+		if g.adj[u][u] == 2 {
+			return false // strict cycle: u < u
+		}
+	}
+	// u ≤ v ≤ u with any strict hop was caught above (strength max).
+	// Forced equalities: u ~ v iff adj[u][v] ≥ 1 and adj[v][u] ≥ 1.
+	eq := func(u, v int) bool { return u == v || (g.adj[u][v] >= 1 && g.adj[v][u] >= 1) }
+	// Two distinct constants forced equal is impossible (implicit strict
+	// edges make that a strict cycle, already caught). A ≠ pair forced
+	// equal is a contradiction:
+	for _, p := range g.neq {
+		if eq(p[0], p[1]) {
+			return false
+		}
+	}
+	// A ≠ pair pinned to the same constant: u = c and v = c.
+	pin := make([]int, n) // pinned constant node, or -1
+	for u := 0; u < n; u++ {
+		pin[u] = -1
+		for v := 0; v < n; v++ {
+			if g.terms[v].IsConst() && eq(u, v) {
+				pin[u] = v
+				break
+			}
+		}
+	}
+	for _, p := range g.neq {
+		if pin[p[0]] >= 0 && pin[p[1]] >= 0 &&
+			g.terms[pin[p[0]]].Compare(g.terms[pin[p[1]]]) == 0 {
+			return false
+		}
+	}
+	// Everything else is realizable over a dense order: take the strict
+	// partial order on equivalence classes (antisymmetric and acyclic
+	// by the checks above), extend it to a linear order, and embed the
+	// classes into the rationals respecting the constants' positions;
+	// density provides room between and beyond all constants.
+	return true
+}
+
+// Implies reports whether the conjunction logically entails the given
+// atom over dense orders: s ⊨ c iff s ∧ ¬c is unsatisfiable.
+// The empty conjunction implies only tautologies (e.g. X <= X, 1 < 2).
+func (s *Set) Implies(c ast.Cmp) bool {
+	if !s.Satisfiable() {
+		return true // ex falso
+	}
+	t := s.Clone()
+	t.Add(c.Negate())
+	return !t.Satisfiable()
+}
+
+// ImpliesAll reports whether every atom of cs is implied.
+func (s *Set) ImpliesAll(cs []ast.Cmp) bool {
+	for _, c := range cs {
+		if !s.Implies(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contradicts reports whether adding c makes the conjunction
+// unsatisfiable.
+func (s *Set) Contradicts(c ast.Cmp) bool {
+	t := s.Clone()
+	t.Add(c)
+	return !t.Satisfiable()
+}
+
+// ForcedEqualities returns the pairs of distinct terms the conjunction
+// forces to be equal, as a list of (representative, term) pairs: each
+// term is paired with the canonical representative of its equivalence
+// class. Variables map to either a constant in their class (preferred)
+// or the lexicographically least variable. The result is deterministic.
+func (s *Set) ForcedEqualities() map[string]ast.Term {
+	out := map[string]ast.Term{}
+	if !s.Satisfiable() {
+		return out
+	}
+	g := s.build()
+	g.closure()
+	n := len(g.terms)
+	eq := func(u, v int) bool { return u == v || (g.adj[u][v] >= 1 && g.adj[v][u] >= 1) }
+	// Pinning to constants counts as equality too: u between c and c.
+	class := make([]int, n)
+	for i := range class {
+		class[i] = -1
+	}
+	next := 0
+	for u := 0; u < n; u++ {
+		if class[u] >= 0 {
+			continue
+		}
+		class[u] = next
+		for v := u + 1; v < n; v++ {
+			if class[v] < 0 && eq(u, v) {
+				class[v] = next
+			}
+		}
+		next++
+	}
+	// Attach classes pinned to a constant to that constant's class.
+	for u := 0; u < n; u++ {
+		if g.terms[u].IsConst() {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if g.terms[v].IsConst() && g.adj[u][v] >= 1 && g.adj[v][u] >= 1 {
+				class[u] = class[v]
+			}
+		}
+	}
+	// Representative per class: a constant if present, else least var.
+	rep := map[int]ast.Term{}
+	for u := 0; u < n; u++ {
+		c := class[u]
+		t := g.terms[u]
+		cur, ok := rep[c]
+		switch {
+		case !ok:
+			rep[c] = t
+		case cur.IsVar() && t.IsConst():
+			rep[c] = t
+		case cur.IsVar() && t.IsVar() && t.Name < cur.Name:
+			rep[c] = t
+		}
+	}
+	for u := 0; u < n; u++ {
+		t := g.terms[u]
+		r := rep[class[u]]
+		if t.IsVar() && !t.Equal(r) {
+			out[t.Name] = r
+		}
+	}
+	return out
+}
+
+// EvalGround evaluates a conjunction whose atoms are all ground,
+// reporting whether every atom holds.
+func EvalGround(cs []ast.Cmp) bool {
+	for _, c := range cs {
+		if c.Left.IsVar() || c.Right.IsVar() {
+			panic("order: EvalGround on non-ground atom " + c.String())
+		}
+		if !c.Eval() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,303 @@
+// Package parser implements a lexer and recursive-descent parser for
+// the datalog dialect used throughout this repository:
+//
+//	% rules
+//	path(X, Y) :- step(X, Y).
+//	path(X, Y) :- step(X, Z), path(Z, Y), X < 100.
+//	% integrity constraints (rules with empty heads)
+//	:- startPoint(X), endPoint(Y), Y <= X.
+//	% negated EDB subgoals
+//	reach(X) :- node(X), !blocked(X).
+//	% ground facts
+//	step(1, 2).
+//	% query-predicate declaration
+//	?- path.
+//
+// Variables start with an upper-case letter or underscore; predicate
+// names and symbolic constants start with a lower-case letter; numeric
+// constants are decimal (optionally signed and fractional); string
+// constants may also be written in double quotes.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF     tokKind = iota
+	tokIdent           // lower-case identifier: predicate or symbolic constant
+	tokVar             // variable: upper-case or underscore start
+	tokNum             // numeric constant
+	tokStr             // quoted string constant
+	tokLParen          // (
+	tokRParen          // )
+	tokComma           // ,
+	tokDot             // .
+	tokImplies         // :-
+	tokQuery           // ?-
+	tokBang            // !
+	tokLT              // <
+	tokLE              // <=
+	tokGT              // >
+	tokGE              // >=
+	tokEQ              // =
+	tokNE              // !=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNum:
+		return "number"
+	case tokStr:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	case tokBang:
+		return "'!'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'='"
+	default:
+		return "'!='"
+	}
+}
+
+// token is a lexed token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Error is a parse error carrying a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '%':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+
+scan:
+	line, col := lx.line, lx.col
+	b := lx.peekByte()
+	switch {
+	case b == '(':
+		lx.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case b == ')':
+		lx.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case b == ',':
+		lx.advance()
+		return token{tokComma, ",", line, col}, nil
+	case b == '.':
+		// Disambiguate rule terminator from a leading-dot fraction.
+		lx.advance()
+		return token{tokDot, ".", line, col}, nil
+	case b == ':':
+		lx.advance()
+		if lx.peekByte() != '-' {
+			return token{}, lx.errf(line, col, "expected ':-', found ':%c'", lx.peekByte())
+		}
+		lx.advance()
+		return token{tokImplies, ":-", line, col}, nil
+	case b == '?':
+		lx.advance()
+		if lx.peekByte() != '-' {
+			return token{}, lx.errf(line, col, "expected '?-'")
+		}
+		lx.advance()
+		return token{tokQuery, "?-", line, col}, nil
+	case b == '!':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{tokNE, "!=", line, col}, nil
+		}
+		return token{tokBang, "!", line, col}, nil
+	case b == '<':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{tokLE, "<=", line, col}, nil
+		}
+		return token{tokLT, "<", line, col}, nil
+	case b == '>':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{tokGE, ">=", line, col}, nil
+		}
+		return token{tokGT, ">", line, col}, nil
+	case b == '=':
+		lx.advance()
+		return token{tokEQ, "=", line, col}, nil
+	case b == '"':
+		return lx.scanString(line, col)
+	case b == '-' || b >= '0' && b <= '9':
+		return lx.scanNumber(line, col)
+	case isIdentStart(rune(b)):
+		return lx.scanIdent(line, col)
+	default:
+		return token{}, lx.errf(line, col, "unexpected character %q", string(b))
+	}
+}
+
+func (lx *lexer) scanString(line, col int) (token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf(line, col, "unterminated string")
+		}
+		b := lx.advance()
+		switch b {
+		case '"':
+			return token{tokStr, sb.String(), line, col}, nil
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf(line, col, "unterminated string escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"':
+				sb.WriteByte(e)
+			default:
+				return token{}, lx.errf(line, col, "unknown escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+func (lx *lexer) scanNumber(line, col int) (token, error) {
+	var sb strings.Builder
+	if lx.peekByte() == '-' {
+		sb.WriteByte(lx.advance())
+		if b := lx.peekByte(); b < '0' || b > '9' {
+			return token{}, lx.errf(line, col, "expected digit after '-'")
+		}
+	}
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		if b >= '0' && b <= '9' {
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		// A '.' is part of the number only if followed by a digit;
+		// otherwise it is the rule terminator.
+		if b == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' && !strings.Contains(sb.String(), ".") {
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		break
+	}
+	return token{tokNum, sb.String(), line, col}, nil
+}
+
+func (lx *lexer) scanIdent(line, col int) (token, error) {
+	var sb strings.Builder
+	first := rune(lx.peekByte())
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.peekByte())) {
+		sb.WriteByte(lx.advance())
+	}
+	kind := tokIdent
+	if unicode.IsUpper(first) || first == '_' {
+		kind = tokVar
+	}
+	return token{kind, sb.String(), line, col}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

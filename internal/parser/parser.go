@@ -1,0 +1,359 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Unit is the result of parsing a source text: a program, its
+// integrity constraints, ground EDB facts, and the declared query
+// predicate (empty if no ?- declaration appeared).
+type Unit struct {
+	Program *ast.Program
+	ICs     []ast.IC
+	Facts   []ast.Atom
+}
+
+// Parse parses a complete source text.
+func Parse(src string) (*Unit, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	unit := &Unit{Program: &ast.Program{}}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokImplies:
+			ic, err := p.parseIC()
+			if err != nil {
+				return nil, err
+			}
+			unit.ICs = append(unit.ICs, ic)
+		case tokQuery:
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokIdent {
+				return nil, p.expected("query predicate name")
+			}
+			unit.Program.Query = p.tok.text
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+		case tokIdent:
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			if len(r.Pos)+len(r.Neg)+len(r.Cmp) == 0 {
+				// A bodiless rule is a ground fact.
+				if !r.Head.Ground() {
+					return nil, &Error{Line: p.tok.line, Col: p.tok.col,
+						Msg: fmt.Sprintf("fact %s is not ground", r.Head)}
+				}
+				unit.Facts = append(unit.Facts, r.Head)
+			} else {
+				unit.Program.Rules = append(unit.Program.Rules, r)
+			}
+		default:
+			return nil, p.expected("a rule, fact, ':-' constraint, or '?-' query declaration")
+		}
+	}
+	return unit, nil
+}
+
+// ParseProgram parses a source text that must contain only rules and a
+// query declaration, returning the program.
+func ParseProgram(src string) (*ast.Program, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.ICs) > 0 {
+		return nil, fmt.Errorf("unexpected integrity constraint in program text: %s", u.ICs[0])
+	}
+	if len(u.Facts) > 0 {
+		return nil, fmt.Errorf("unexpected ground fact in program text: %s", u.Facts[0])
+	}
+	return u.Program, nil
+}
+
+// ParseICs parses a source text that must contain only integrity
+// constraints.
+func ParseICs(src string) ([]ast.IC, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.Program.Rules) > 0 {
+		return nil, fmt.Errorf("unexpected rule in constraint text: %s", u.Program.Rules[0])
+	}
+	if len(u.Facts) > 0 {
+		return nil, fmt.Errorf("unexpected ground fact in constraint text: %s", u.Facts[0])
+	}
+	return u.ICs, nil
+}
+
+// ParseFacts parses a source text that must contain only ground facts.
+func ParseFacts(src string) ([]ast.Atom, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.Program.Rules) > 0 {
+		return nil, fmt.Errorf("unexpected rule in facts text: %s", u.Program.Rules[0])
+	}
+	if len(u.ICs) > 0 {
+		return nil, fmt.Errorf("unexpected constraint in facts text: %s", u.ICs[0])
+	}
+	return u.Facts, nil
+}
+
+// MustParseProgram is ParseProgram but panics on error; for tests and
+// examples with literal sources.
+func MustParseProgram(src string) *ast.Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustParseICs is ParseICs but panics on error.
+func MustParseICs(src string) []ast.IC {
+	ics, err := ParseICs(src)
+	if err != nil {
+		panic(err)
+	}
+	return ics
+}
+
+// MustParseFacts is ParseFacts but panics on error.
+func MustParseFacts(src string) []ast.Atom {
+	fs, err := ParseFacts(src)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) bump() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expected(what string) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col,
+		Msg: fmt.Sprintf("expected %s, found %s", what, p.tok.kind)}
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.expected(k.String())
+	}
+	return p.bump()
+}
+
+// parseRule parses `head.` or `head :- body.`.
+func (p *parser) parseRule() (ast.Rule, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	r := ast.Rule{Head: head}
+	if p.tok.kind == tokDot {
+		return r, p.bump()
+	}
+	if err := p.expect(tokImplies); err != nil {
+		return ast.Rule{}, err
+	}
+	if err := p.parseBody(&r.Pos, &r.Neg, &r.Cmp); err != nil {
+		return ast.Rule{}, err
+	}
+	return r, p.expect(tokDot)
+}
+
+// parseIC parses `:- body.`.
+func (p *parser) parseIC() (ast.IC, error) {
+	if err := p.expect(tokImplies); err != nil {
+		return ast.IC{}, err
+	}
+	var ic ast.IC
+	if err := p.parseBody(&ic.Pos, &ic.Neg, &ic.Cmp); err != nil {
+		return ast.IC{}, err
+	}
+	return ic, p.expect(tokDot)
+}
+
+// parseBody parses a comma-separated list of literals into the three
+// destination slices.
+func (p *parser) parseBody(pos, neg *[]ast.Atom, cmp *[]ast.Cmp) error {
+	for {
+		switch p.tok.kind {
+		case tokBang:
+			if err := p.bump(); err != nil {
+				return err
+			}
+			a, err := p.parseAtom()
+			if err != nil {
+				return err
+			}
+			*neg = append(*neg, a)
+		case tokIdent:
+			// Ambiguous: `pred(...)`, a 0-ary atom, or a comparison
+			// whose left side is a bare symbolic constant (`a != W`).
+			// Disambiguate on the following token.
+			name := p.tok.text
+			if err := p.bump(); err != nil {
+				return err
+			}
+			switch p.tok.kind {
+			case tokLParen:
+				a, err := p.parseAtomArgs(name)
+				if err != nil {
+					return err
+				}
+				*pos = append(*pos, a)
+			case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+				c, err := p.parseCmpRest(ast.S(name))
+				if err != nil {
+					return err
+				}
+				*cmp = append(*cmp, c)
+			default:
+				*pos = append(*pos, ast.Atom{Pred: name})
+			}
+		case tokVar, tokNum, tokStr:
+			c, err := p.parseCmp()
+			if err != nil {
+				return err
+			}
+			*cmp = append(*cmp, c)
+		default:
+			return p.expected("a subgoal")
+		}
+		if p.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.bump(); err != nil {
+			return err
+		}
+	}
+}
+
+// parseAtom parses `pred` or `pred(t1, ..., tn)`.
+func (p *parser) parseAtom() (ast.Atom, error) {
+	if p.tok.kind != tokIdent {
+		return ast.Atom{}, p.expected("predicate name")
+	}
+	pred := p.tok.text
+	if err := p.bump(); err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		return ast.Atom{Pred: pred}, nil // 0-ary atom, e.g. halt
+	}
+	return p.parseAtomArgs(pred)
+}
+
+// parseAtomArgs parses `(t1, ..., tn)` for an already-consumed
+// predicate name (the current token is the opening parenthesis).
+func (p *parser) parseAtomArgs(pred string) (ast.Atom, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return ast.Atom{}, err
+	}
+	a := ast.Atom{Pred: pred}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.bump(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	return a, p.expect(tokRParen)
+}
+
+// parseCmp parses `term op term` where op is one of < <= > >= = !=.
+func (p *parser) parseCmp() (ast.Cmp, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return ast.Cmp{}, err
+	}
+	return p.parseCmpRest(l)
+}
+
+// parseCmpRest parses `op term` after the left operand was consumed.
+func (p *parser) parseCmpRest(l ast.Term) (ast.Cmp, error) {
+	var op ast.CmpOp
+	switch p.tok.kind {
+	case tokLT:
+		op = ast.LT
+	case tokLE:
+		op = ast.LE
+	case tokGT:
+		op = ast.GT
+	case tokGE:
+		op = ast.GE
+	case tokEQ:
+		op = ast.EQ
+	case tokNE:
+		op = ast.NE
+	default:
+		return ast.Cmp{}, p.expected("a comparison operator")
+	}
+	if err := p.bump(); err != nil {
+		return ast.Cmp{}, err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return ast.Cmp{}, err
+	}
+	return ast.NewCmp(l, op, r), nil
+}
+
+// parseTerm parses a variable, numeric constant, quoted string, or
+// bare symbolic constant.
+func (p *parser) parseTerm() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		t := ast.V(p.tok.text)
+		return t, p.bump()
+	case tokNum:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return ast.Term{}, &Error{Line: p.tok.line, Col: p.tok.col, Msg: "bad number: " + p.tok.text}
+		}
+		t := ast.N(v)
+		return t, p.bump()
+	case tokStr:
+		t := ast.S(p.tok.text)
+		return t, p.bump()
+	case tokIdent:
+		// Bare lower-case identifier in term position is a symbolic constant.
+		t := ast.S(p.tok.text)
+		return t, p.bump()
+	default:
+		return ast.Term{}, p.expected("a term")
+	}
+}

@@ -1,0 +1,390 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParsePaperExample31(t *testing.T) {
+	src := `
+		% Example 3.1 of the paper.
+		path(X, Y) :- step(X, Y).
+		path(X, Y) :- step(X, Z), path(Z, Y).
+		goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+		?- goodPath.
+	`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.Program
+	if p.Query != "goodPath" {
+		t.Fatalf("query = %q", p.Query)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := p.Rules[1]
+	if r2.Head.Pred != "path" || len(r2.Pos) != 2 || r2.Pos[1].Pred != "path" {
+		t.Fatalf("recursive rule wrong: %s", r2)
+	}
+}
+
+func TestParseICs(t *testing.T) {
+	src := `
+		:- startPoint(X), endPoint(Y), Y <= X.
+		:- startPoint(X), step(X, Y), X < 100.
+		:- step(X, Y), X >= Y.
+	`
+	ics, err := ParseICs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ics) != 3 {
+		t.Fatalf("got %d ics", len(ics))
+	}
+	if len(ics[0].Pos) != 2 || len(ics[0].Cmp) != 1 {
+		t.Fatalf("ic0 shape wrong: %s", ics[0])
+	}
+	if ics[0].Cmp[0].Op != ast.LE {
+		t.Fatalf("ic0 op = %v", ics[0].Cmp[0].Op)
+	}
+	if ics[2].Cmp[0].Op != ast.GE {
+		t.Fatalf("ic2 op = %v", ics[2].Cmp[0].Op)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	src := `reach(X) :- node(X), !blocked(X).`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if len(r.Neg) != 1 || r.Neg[0].Pred != "blocked" {
+		t.Fatalf("negation not parsed: %s", r)
+	}
+}
+
+func TestParseNegationInIC(t *testing.T) {
+	src := `:- succ(X, Y), !dom(X).`
+	ics, err := ParseICs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ics[0].Neg) != 1 || ics[0].Neg[0].Pred != "dom" {
+		t.Fatalf("ic negation not parsed: %s", ics[0])
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	src := `
+		step(1, 2).
+		step(2, 3).
+		startPoint(1).
+		label(1, "node one").
+		kind(a, b).
+	`
+	fs, err := ParseFacts(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 5 {
+		t.Fatalf("got %d facts", len(fs))
+	}
+	if fs[0].Args[0].Val != 1 || fs[0].Args[1].Val != 2 {
+		t.Fatalf("fact 0 wrong: %s", fs[0])
+	}
+	if fs[3].Args[1].Kind != ast.Str || fs[3].Args[1].Name != "node one" {
+		t.Fatalf("quoted string wrong: %s", fs[3])
+	}
+	if fs[4].Args[0].Kind != ast.Str || fs[4].Args[0].Name != "a" {
+		t.Fatalf("bare symbolic constant wrong: %s", fs[4])
+	}
+}
+
+func TestParseNonGroundFactRejected(t *testing.T) {
+	if _, err := Parse(`step(X, 2).`); err == nil {
+		t.Fatal("expected non-ground fact error")
+	}
+}
+
+func TestParseZeroAryAtom(t *testing.T) {
+	src := `
+		halt :- reach(T), final(T).
+		?- halt.
+	`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Pred != "halt" || p.Rules[0].Head.Arity() != 0 {
+		t.Fatalf("0-ary head wrong: %s", p.Rules[0])
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	fs, err := ParseFacts(`v(1). v(-2). v(3.5). v(-0.25). v(100).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 3.5, -0.25, 100}
+	for i, f := range fs {
+		if f.Args[0].Val != want[i] {
+			t.Errorf("fact %d = %v, want %v", i, f.Args[0].Val, want[i])
+		}
+	}
+}
+
+func TestParseNumberFollowedByDot(t *testing.T) {
+	// `X < 100.` — the dot terminates the rule, it is not a decimal point.
+	p, err := ParseProgram(`p(X) :- e(X), X < 100.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Cmp[0].Right.Val != 100 {
+		t.Fatalf("constant wrong: %v", p.Rules[0].Cmp[0])
+	}
+}
+
+func TestParseAllComparisonOps(t *testing.T) {
+	src := `p(X, Y) :- e(X, Y), X < Y, X <= Y, Y > X, Y >= X, X = X, X != Y.`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []ast.CmpOp{ast.LT, ast.LE, ast.GT, ast.GE, ast.EQ, ast.NE}
+	if len(p.Rules[0].Cmp) != len(ops) {
+		t.Fatalf("got %d cmps", len(p.Rules[0].Cmp))
+	}
+	for i, op := range ops {
+		if p.Rules[0].Cmp[i].Op != op {
+			t.Errorf("cmp %d op = %v, want %v", i, p.Rules[0].Cmp[i].Op, op)
+		}
+	}
+}
+
+func TestParseCmpBetweenConstants(t *testing.T) {
+	p, err := ParseProgram(`p(X) :- e(X), 1 < 2.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Rules[0].Cmp[0]
+	if !c.Left.IsConst() || !c.Right.IsConst() {
+		t.Fatalf("constants not parsed in cmp: %v", c)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	fs, err := ParseFacts(`s("a\nb"). s("q\"q"). s("back\\slash"). s("tab\there").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a\nb", `q"q`, `back\slash`, "tab\there"}
+	for i, f := range fs {
+		if f.Args[0].Name != want[i] {
+			t.Errorf("string %d = %q, want %q", i, f.Args[0].Name, want[i])
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "% full line\np(X) :- e(X). % trailing\n% another\n"
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []string{
+		`p(X) :- e(X)`,         // missing dot
+		`p(X) :- .`,            // empty body
+		`p(X) :- e(X,).`,       // trailing comma in args
+		`p(X) :- X <.`,         // missing rhs
+		`p(X) :- e(X), & .`,    // bad char
+		`:- .`,                 // empty ic body
+		`p("unterminated`,      // unterminated string
+		`p(X) :- e(X), X ! Y.`, // lone bang as operator
+		`?- .`,                 // missing query name
+		`p(-a).`,               // '-' must precede digits
+	}
+	for _, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("no error for %q", src)
+			continue
+		}
+		var pe *Error
+		if !asError(err, &pe) {
+			// Some wrapper errors (fact/rule misplacement) are plain;
+			// only lexical/syntactic errors need positions.
+			continue
+		}
+		if pe.Line < 1 || pe.Col < 1 {
+			t.Errorf("bad position in error %v for %q", err, src)
+		}
+		if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error %q lacks position prefix", err)
+		}
+	}
+}
+
+func asError(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parse → print → parse must be identity on the AST.
+	src := `
+		p(X, Y) :- e(X, Z), p(Z, Y), !blocked(Z), X < 100, Z != Y.
+		p(X, Y) :- e(X, Y).
+		q(X) :- p(X, X).
+		?- q.
+	`
+	p1, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := p1.String() + "?- " + p1.Query + ".\n"
+	p2, err := ParseProgram(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, printed)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("round trip changed program:\n%s\nvs\n%s", p1, p2)
+	}
+	if p2.Query != "q" {
+		t.Fatalf("query lost: %q", p2.Query)
+	}
+}
+
+func TestParseICRoundTrip(t *testing.T) {
+	src := `
+		:- startPoint(X), endPoint(Y), Y <= X.
+		:- step(X, Y), !dom(X).
+		:- a(X, Y), b(Y, Z).
+	`
+	ics1, err := ParseICs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, ic := range ics1 {
+		sb.WriteString(ic.String())
+		sb.WriteByte('\n')
+	}
+	ics2, err := ParseICs(sb.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, sb.String())
+	}
+	if len(ics1) != len(ics2) {
+		t.Fatalf("ic count changed: %d vs %d", len(ics1), len(ics2))
+	}
+	for i := range ics1 {
+		if ics1[i].String() != ics2[i].String() {
+			t.Errorf("ic %d changed: %s vs %s", i, ics1[i], ics2[i])
+		}
+	}
+}
+
+func TestStrictParseVariants(t *testing.T) {
+	if _, err := ParseProgram(`:- a(X).`); err == nil {
+		t.Error("ParseProgram must reject ics")
+	}
+	if _, err := ParseProgram(`a(1).`); err == nil {
+		t.Error("ParseProgram must reject facts")
+	}
+	if _, err := ParseICs(`p(X) :- e(X).`); err == nil {
+		t.Error("ParseICs must reject rules")
+	}
+	if _, err := ParseICs(`a(1).`); err == nil {
+		t.Error("ParseICs must reject facts")
+	}
+	if _, err := ParseFacts(`p(X) :- e(X).`); err == nil {
+		t.Error("ParseFacts must reject rules")
+	}
+	if _, err := ParseFacts(`:- a(X).`); err == nil {
+		t.Error("ParseFacts must reject ics")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseProgram must panic on bad input")
+		}
+	}()
+	MustParseProgram(`p(X :-`)
+}
+
+func TestParseVariableStyles(t *testing.T) {
+	p, err := ParseProgram(`p(X1, _y, Long_Var) :- e(X1, _y, Long_Var).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := p.Rules[0].Head.Args
+	for i, name := range []string{"X1", "_y", "Long_Var"} {
+		if !args[i].IsVar() || args[i].Name != name {
+			t.Errorf("arg %d = %v, want var %s", i, args[i], name)
+		}
+	}
+}
+
+// TestRandomRoundTrip generates random programs from the AST side,
+// prints them, and reparses: the printed form must parse back to a
+// structurally identical program.
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	vars := []ast.Term{ast.V("X"), ast.V("Y"), ast.V("Z"), ast.V("W")}
+	consts := []ast.Term{ast.N(0), ast.N(1.5), ast.N(-3), ast.S("a"), ast.S("hello world")}
+	ops := []ast.CmpOp{ast.LT, ast.LE, ast.GT, ast.GE, ast.EQ, ast.NE}
+	term := func() ast.Term {
+		if rng.Intn(3) == 0 {
+			return consts[rng.Intn(len(consts))]
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	for trial := 0; trial < 200; trial++ {
+		var prog ast.Program
+		for r := 0; r < 1+rng.Intn(3); r++ {
+			// Safety: bind every variable with a catch-all subgoal.
+			rule := ast.Rule{
+				Head: ast.NewAtom("p", vars[rng.Intn(len(vars))], term()),
+				Pos: []ast.Atom{ast.NewAtom("all",
+					vars[0], vars[1], vars[2], vars[3])},
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				rule.Pos = append(rule.Pos, ast.NewAtom("e", term(), term()))
+			}
+			for i := 0; i < rng.Intn(2); i++ {
+				rule.Neg = append(rule.Neg, ast.NewAtom("f", vars[rng.Intn(len(vars))]))
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				rule.Cmp = append(rule.Cmp, ast.NewCmp(term(), ops[rng.Intn(len(ops))], term()))
+			}
+			prog.Rules = append(prog.Rules, rule)
+		}
+		printed := prog.String()
+		reparsed, err := ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("trial %d: printed program does not reparse: %v\n%s", trial, err, printed)
+		}
+		if reparsed.String() != printed {
+			t.Fatalf("trial %d: round trip changed the program:\n%s\nvs\n%s", trial, printed, reparsed)
+		}
+	}
+}

@@ -1,0 +1,568 @@
+// Package qtree implements the top-down phase of the query-tree
+// algorithm (Section 4.1 of the paper): construction of the query
+// tree/forest with labels pushed from parents to children along the
+// provenance recorded by the bottom-up phase (package adorn), pruning
+// of nodes unreachable from the EDB leaves or the root, and extraction
+// of the rewritten program that completely incorporates the integrity
+// constraints (Theorems 4.1 and 4.2).
+package qtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/order"
+	"repro/internal/rewrite"
+)
+
+// LabelTriplet refines an adornment triplet at a node of the query
+// tree: partial mappings into the whole encoded derivation, not just
+// the subtree below the node.
+type LabelTriplet struct {
+	IC       int
+	Unmapped []int
+	Sigma    map[string]adorn.Image
+	// AdornTriplet is the index of the corresponding triplet in the
+	// node's adornment (the paper's triplet correspondence).
+	AdornTriplet int
+}
+
+// key canonicalizes the label triplet, including the correspondence.
+func (lt LabelTriplet) key() string {
+	t := adorn.Triplet{IC: lt.IC, Unmapped: lt.Unmapped, Sigma: lt.Sigma}
+	return fmt.Sprintf("%s@%d", t.Key(), lt.AdornTriplet)
+}
+
+// labelKey canonicalizes a whole label (set semantics).
+func labelKey(label []LabelTriplet) string {
+	keys := make([]string, len(label))
+	for i, lt := range label {
+		keys[i] = lt.key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// Node is an IDB goal node of the query tree — more precisely the
+// representative of an equivalence class of goal nodes (isomorphic
+// atom, same adornment, identical label with identical triplet
+// correspondences).
+type Node struct {
+	ID      int
+	Pred    string // specialized predicate
+	AdornID int
+	Label   []LabelTriplet
+	// RuleKids are the rule-node children (one per adorned rule whose
+	// head matches the node's predicate and adornment).
+	RuleKids []*RuleNode
+	// Live marks nodes that survive pruning (productive and reachable).
+	Live bool
+
+	key string
+}
+
+// RuleNode is a rule node of the query tree.
+type RuleNode struct {
+	// ARIdx indexes adorn.Result.Rules.
+	ARIdx int
+	AR    *adorn.AdornedRule
+	// Children holds the goal-node child per positive subgoal (nil for
+	// EDB subgoals, which are leaves and carry no labels).
+	Children []*Node
+	Live     bool
+}
+
+// Tree is the query forest: one root per adornment of the query
+// predicate.
+type Tree struct {
+	Res   *adorn.Result
+	Roots []*Node
+	Nodes []*Node
+	byKey map[string]*Node
+}
+
+// Build constructs the query forest from the bottom-up result,
+// expanding one goal node per equivalence class.
+func Build(res *adorn.Result) *Tree {
+	t := &Tree{Res: res, byKey: map[string]*Node{}}
+	q := res.Spec.Query
+	for adornID := range res.Adorn[q] {
+		if len(res.RulesByHead[q][adornID]) == 0 {
+			continue // no rule derives this adornment; cannot be a root
+		}
+		// Root label: the adornment itself, with identity correspondence.
+		var label []LabelTriplet
+		for ti, tr := range res.Adorn[q][adornID].Triplets {
+			label = append(label, LabelTriplet{
+				IC: tr.IC, Unmapped: tr.Unmapped, Sigma: tr.Sigma, AdornTriplet: ti,
+			})
+		}
+		t.Roots = append(t.Roots, t.intern(q, adornID, label))
+	}
+	// Expand breadth-first; intern enqueues by appending to t.Nodes.
+	for i := 0; i < len(t.Nodes); i++ {
+		t.expand(t.Nodes[i])
+	}
+	return t
+}
+
+// intern returns the class representative for (pred, adornID, label),
+// creating it if new.
+func (t *Tree) intern(pred string, adornID int, label []LabelTriplet) *Node {
+	key := fmt.Sprintf("%s|%d|%s", pred, adornID, labelKey(label))
+	if n, ok := t.byKey[key]; ok {
+		return n
+	}
+	n := &Node{ID: len(t.Nodes), Pred: pred, AdornID: adornID, Label: label, key: key}
+	t.byKey[key] = n
+	t.Nodes = append(t.Nodes, n)
+	return n
+}
+
+// expand creates the rule-node children of a goal node and the goal
+// nodes for their IDB subgoals, pushing labels down.
+func (t *Tree) expand(n *Node) {
+	res := t.Res
+	for _, arIdx := range res.RulesByHead[n.Pred][n.AdornID] {
+		ar := res.Rules[arIdx]
+		rn := &RuleNode{ARIdx: arIdx, AR: ar, Children: make([]*Node, len(ar.Rule.Pos))}
+		for j, sub := range ar.Rule.Pos {
+			if ar.ChildAdornIDs[j] < 0 {
+				continue // EDB leaf
+			}
+			childLabel := t.childLabel(n, ar, j)
+			rn.Children[j] = t.intern(sub.Pred, ar.ChildAdornIDs[j], childLabel)
+		}
+		n.RuleKids = append(n.RuleKids, rn)
+	}
+}
+
+// childLabel computes the label of the j-th subgoal of an adorned rule
+// used below node n, following the paper's correspondences: each label
+// triplet of n corresponds to a head-adornment triplet, which was
+// produced by rule triplets, each of which chose one triplet at every
+// subgoal; the child label triplet keeps the parent's unmapped set and
+// restricts the child triplet's σ to its variables.
+func (t *Tree) childLabel(n *Node, ar *adorn.AdornedRule, j int) []LabelTriplet {
+	res := t.Res
+	childAd := res.Adorn[ar.Rule.Pos[j].Pred][ar.ChildAdornIDs[j]]
+	seen := map[string]bool{}
+	var out []LabelTriplet
+	for _, lt := range n.Label {
+		for _, rt := range ar.Triplets {
+			if rt.IC != lt.IC || rt.HeadTriplet != lt.AdornTriplet {
+				continue
+			}
+			ci := rt.ChildChoice[j]
+			if ci < 0 || ci >= len(childAd.Triplets) {
+				continue
+			}
+			ct := childAd.Triplets[ci]
+			nlt := LabelTriplet{
+				IC:           lt.IC,
+				Unmapped:     lt.Unmapped,
+				Sigma:        restrictImages(ct.Sigma, res.Plans[lt.IC], lt.Unmapped),
+				AdornTriplet: ci,
+			}
+			if k := nlt.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, nlt)
+			}
+		}
+	}
+	return out
+}
+
+// restrictImages keeps the images of variables occurring in the given
+// unmapped atoms or in the constraint's residue order atoms.
+func restrictImages(sigma map[string]adorn.Image, plan rewrite.ICPlan, unmapped []int) map[string]adorn.Image {
+	keep := map[string]bool{}
+	for _, ui := range unmapped {
+		for _, v := range plan.IC.Pos[ui].Vars(nil) {
+			keep[v] = true
+		}
+	}
+	for _, c := range plan.ResidueCmps {
+		for _, v := range c.Vars(nil) {
+			keep[v] = true
+		}
+	}
+	out := map[string]adorn.Image{}
+	for v, im := range sigma {
+		if keep[v] {
+			out[v] = im
+		}
+	}
+	return out
+}
+
+// Prune computes liveness: a goal node is productive if some rule
+// child has all its IDB children productive (least fixpoint), and a
+// node is live if it is productive and reachable from a productive
+// root. Rule nodes are live when all their IDB children are live.
+func (t *Tree) Prune() {
+	// Productivity (reachable from the EDB leaves).
+	productive := make([]bool, len(t.Nodes))
+	for changed := true; changed; {
+		changed = false
+		for _, n := range t.Nodes {
+			if productive[n.ID] {
+				continue
+			}
+			for _, rn := range n.RuleKids {
+				ok := true
+				for _, c := range rn.Children {
+					if c != nil && !productive[c.ID] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					productive[n.ID] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Reachability from productive roots through productive rule nodes.
+	reachable := make([]bool, len(t.Nodes))
+	var stack []*Node
+	for _, r := range t.Roots {
+		if productive[r.ID] && !reachable[r.ID] {
+			reachable[r.ID] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, rn := range n.RuleKids {
+			allProd := true
+			for _, c := range rn.Children {
+				if c != nil && !productive[c.ID] {
+					allProd = false
+					break
+				}
+			}
+			if !allProd {
+				continue
+			}
+			for _, c := range rn.Children {
+				if c != nil && !reachable[c.ID] {
+					reachable[c.ID] = true
+					stack = append(stack, c)
+				}
+			}
+		}
+	}
+	for _, n := range t.Nodes {
+		n.Live = productive[n.ID] && reachable[n.ID]
+		for _, rn := range n.RuleKids {
+			rn.Live = n.Live
+			for _, c := range rn.Children {
+				if c != nil && !(productive[c.ID] && reachable[c.ID]) {
+					rn.Live = false
+					break
+				}
+			}
+		}
+	}
+}
+
+// Satisfiable reports whether any root survived pruning — i.e.
+// whether the query predicate is satisfiable with respect to the
+// constraints (has at least one consistent symbolic derivation).
+func (t *Tree) Satisfiable() bool {
+	for _, r := range t.Roots {
+		if r.Live {
+			return true
+		}
+	}
+	return false
+}
+
+// Extract emits the rewritten program P′. The paper forms "a rule for
+// every rule node in the tree"; distinct tree nodes carrying the same
+// adorned rule of P1 yield the same rule, so the program is P1
+// restricted to the live (predicate, adornment) pairs — each pair
+// becomes a fresh predicate, order residues are attached (negated,
+// splitting rules when a residue has several atoms), and a wrapper
+// rule binds the original query predicate to each live root.
+func (t *Tree) Extract() *ast.Program {
+	res := t.Res
+	base := res.Spec.Base
+	out := &ast.Program{Query: res.Spec.Base[res.Spec.Query]}
+
+	live := t.livePairs()
+
+	// Deterministic naming: number live pairs in (pred, adornID) order.
+	type pair struct {
+		pred    string
+		adornID int
+	}
+	var pairs []pair
+	for pred, ids := range live {
+		for id := range ids {
+			pairs = append(pairs, pair{pred, id})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].pred != pairs[j].pred {
+			return pairs[i].pred < pairs[j].pred
+		}
+		return pairs[i].adornID < pairs[j].adornID
+	})
+	names := map[pair]string{}
+	for i, p := range pairs {
+		names[p] = fmt.Sprintf("%s_q%d", base[p.pred], i)
+	}
+
+	seenRule := map[string]bool{}
+	emit := func(r ast.Rule) {
+		if nr, ok := rewrite.NormalizeRule(r); ok {
+			if k := nr.String(); !seenRule[k] {
+				seenRule[k] = true
+				out.Rules = append(out.Rules, nr)
+			}
+		}
+	}
+
+	for _, ar := range res.Rules {
+		headPair := pair{ar.HeadPred, ar.HeadAdornID}
+		hName, ok := names[headPair]
+		if !ok {
+			continue // head pair not live
+		}
+		allLive := true
+		for j, sub := range ar.Rule.Pos {
+			if ar.ChildAdornIDs[j] < 0 {
+				continue
+			}
+			if _, ok := names[pair{sub.Pred, ar.ChildAdornIDs[j]}]; !ok {
+				allLive = false
+				break
+			}
+		}
+		if !allLive {
+			continue
+		}
+		r := ast.Rule{
+			Head: ast.NewAtom(hName, ar.Rule.Head.Args...),
+			Neg:  ar.Rule.Neg,
+			Cmp:  ar.Rule.Cmp,
+		}
+		for j, sub := range ar.Rule.Pos {
+			if ar.ChildAdornIDs[j] < 0 {
+				r.Pos = append(r.Pos, sub)
+			} else {
+				cName := names[pair{sub.Pred, ar.ChildAdornIDs[j]}]
+				r.Pos = append(r.Pos, ast.NewAtom(cName, sub.Args...))
+			}
+		}
+		// Attach order residues: each residue o1 ∧ ... ∧ ok adds the
+		// disjunction ¬o1 ∨ ... ∨ ¬ok, realized by splitting the rule
+		// into k variants (their union is equivalent).
+		variants := []ast.Rule{r}
+		for _, residue := range ar.Residues {
+			ruleSet := order.NewSet(r.Cmp...)
+			if alreadyRefuted(ruleSet, residue) {
+				continue // some ¬oi already implied; nothing to add
+			}
+			var next []ast.Rule
+			for _, v := range variants {
+				for _, c := range residue {
+					nv := v.Clone()
+					nv.Cmp = append(nv.Cmp, c.Negate())
+					next = append(next, nv)
+				}
+			}
+			variants = next
+		}
+		for _, v := range variants {
+			emit(v)
+		}
+	}
+
+	// Wrapper rules for the original query predicate.
+	qSpec := res.Spec.Query
+	pattern := res.Spec.Pattern[qSpec]
+	for id := range res.Adorn[qSpec] {
+		if n, ok := names[pair{qSpec, id}]; ok {
+			emit(ast.Rule{
+				Head: ast.NewAtom(out.Query, pattern.Args...),
+				Pos:  []ast.Atom{ast.NewAtom(n, pattern.Args...)},
+			})
+		}
+	}
+
+	// Residue attachment can normalize away every rule of a pair that
+	// the adornment-level analysis considered live; drop rules whose
+	// body references a generated predicate that ended up rule-less,
+	// to a fixpoint.
+	gen := map[string]bool{}
+	for _, n := range names {
+		gen[n] = true
+	}
+	for {
+		heads := map[string]bool{}
+		for _, r := range out.Rules {
+			heads[r.Head.Pred] = true
+		}
+		var kept []ast.Rule
+		for _, r := range out.Rules {
+			ok := true
+			for _, a := range r.Pos {
+				if gen[a.Pred] && !heads[a.Pred] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == len(out.Rules) {
+			break
+		}
+		out.Rules = kept
+	}
+	return out
+}
+
+// livePairs computes liveness at (predicate, adornment) granularity:
+// a pair is productive if some adorned rule with that head has all its
+// IDB children productive (least fixpoint), and live if additionally
+// reachable from a productive root pair.
+func (t *Tree) livePairs() map[string]map[int]bool {
+	res := t.Res
+	productive := map[string]map[int]bool{}
+	mark := func(m map[string]map[int]bool, pred string, id int) bool {
+		ids, ok := m[pred]
+		if !ok {
+			ids = map[int]bool{}
+			m[pred] = ids
+		}
+		if ids[id] {
+			return false
+		}
+		ids[id] = true
+		return true
+	}
+	has := func(m map[string]map[int]bool, pred string, id int) bool {
+		return m[pred] != nil && m[pred][id]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ar := range res.Rules {
+			ok := true
+			for j, sub := range ar.Rule.Pos {
+				if ar.ChildAdornIDs[j] >= 0 && !has(productive, sub.Pred, ar.ChildAdornIDs[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok && mark(productive, ar.HeadPred, ar.HeadAdornID) {
+				changed = true
+			}
+		}
+	}
+	// Reachability from productive roots.
+	reach := map[string]map[int]bool{}
+	type pair struct {
+		pred string
+		id   int
+	}
+	var stack []pair
+	q := res.Spec.Query
+	for id := range res.Adorn[q] {
+		if has(productive, q, id) {
+			mark(reach, q, id)
+			stack = append(stack, pair{q, id})
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ri := range res.RulesByHead[p.pred][p.id] {
+			ar := res.Rules[ri]
+			ok := true
+			for j, sub := range ar.Rule.Pos {
+				if ar.ChildAdornIDs[j] >= 0 && !has(productive, sub.Pred, ar.ChildAdornIDs[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for j, sub := range ar.Rule.Pos {
+				if ar.ChildAdornIDs[j] >= 0 && mark(reach, sub.Pred, ar.ChildAdornIDs[j]) {
+					stack = append(stack, pair{sub.Pred, ar.ChildAdornIDs[j]})
+				}
+			}
+		}
+	}
+	// live = productive ∧ reachable
+	out := map[string]map[int]bool{}
+	for pred, ids := range reach {
+		for id := range ids {
+			if has(productive, pred, id) {
+				mark(out, pred, id)
+			}
+		}
+	}
+	return out
+}
+
+// alreadyRefuted reports whether the rule's order atoms already imply
+// the negation of some residue conjunct (the residue cannot fire).
+func alreadyRefuted(ruleSet *order.Set, residue []ast.Cmp) bool {
+	for _, c := range residue {
+		if ruleSet.Implies(c.Negate()) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes the tree for diagnostics and experiments.
+type Stats struct {
+	GoalNodes  int
+	RuleNodes  int
+	LiveGoals  int
+	LiveRules  int
+	Roots      int
+	LiveRoots  int
+	Adornments int
+}
+
+// Stats computes summary statistics.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	s.GoalNodes = len(t.Nodes)
+	s.Roots = len(t.Roots)
+	for _, n := range t.Nodes {
+		if n.Live {
+			s.LiveGoals++
+		}
+		s.RuleNodes += len(n.RuleKids)
+		for _, rn := range n.RuleKids {
+			if rn.Live {
+				s.LiveRules++
+			}
+		}
+	}
+	for _, r := range t.Roots {
+		if r.Live {
+			s.LiveRoots++
+		}
+	}
+	for _, ads := range t.Res.Adorn {
+		s.Adornments += len(ads)
+	}
+	return s
+}

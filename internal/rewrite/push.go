@@ -1,0 +1,211 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/order"
+	"repro/internal/unify"
+)
+
+// PushOrder performs top-down order-constraint propagation — the
+// selection-pushing pass of [LS92, LMSS93] that the paper assumes has
+// been applied before its algorithm runs. Starting from the query
+// predicate with an empty constraint context, every IDB subgoal
+// occurrence is specialized by the strongest context on its arguments
+// that the enclosing rule body implies, the context is added to the
+// specialized predicate's rules, and the process repeats until no new
+// (predicate, context) pairs appear. Rules whose constraints become
+// unsatisfiable vanish.
+//
+// The pass is an equivalence transformation for the query predicate:
+// each specialized predicate computes exactly the tuples of the
+// original that can participate under its calling context.
+//
+// Contexts are drawn from a finite candidate vocabulary (comparisons
+// among argument positions and against the constants appearing in the
+// program), so the specialization terminates.
+func PushOrder(p *ast.Program) (*ast.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Query == "" {
+		return nil, fmt.Errorf("rewrite: PushOrder requires a query predicate")
+	}
+	idb := p.IDB()
+	ar, err := p.PredArity()
+	if err != nil {
+		return nil, err
+	}
+	consts := collectConstants(p)
+
+	// candidates returns the context vocabulary for an n-ary predicate,
+	// over canonical argument variables A0..A(n-1).
+	candidates := func(n int) []ast.Cmp {
+		var out []ast.Cmp
+		ops := []ast.CmpOp{ast.LT, ast.LE, ast.EQ, ast.NE}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for _, op := range ops {
+					out = append(out, ast.NewCmp(argVar(i), op, argVar(j)))
+					out = append(out, ast.NewCmp(argVar(j), op, argVar(i)))
+				}
+			}
+			for _, c := range consts {
+				for _, op := range []ast.CmpOp{ast.LT, ast.LE, ast.EQ, ast.NE, ast.GT, ast.GE} {
+					out = append(out, ast.NewCmp(argVar(i), op, c))
+				}
+			}
+		}
+		return out
+	}
+
+	type classKey struct {
+		pred string
+		ctx  string
+	}
+	names := map[classKey]string{}
+	ctxCmps := map[string][]ast.Cmp{} // specialized name -> context atoms (over A_i)
+	counter := map[string]int{}
+	var queue []string
+	base := map[string]string{}
+
+	intern := func(pred string, ctx []ast.Cmp) string {
+		key := classKey{pred, ast.CmpsKey(ctx)}
+		if n, ok := names[key]; ok {
+			return n
+		}
+		var name string
+		if counter[pred] == 0 && len(ctx) == 0 {
+			name = pred // empty root context keeps the original name
+		} else {
+			name = fmt.Sprintf("%s_c%d", pred, counter[pred])
+		}
+		counter[pred]++
+		names[key] = name
+		ctxCmps[name] = ctx
+		base[name] = pred
+		queue = append(queue, name)
+		return name
+	}
+
+	out := &ast.Program{}
+	out.Query = intern(p.Query, nil)
+
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		pred := base[name]
+		ctx := ctxCmps[name]
+		for _, r := range p.RulesFor(pred) {
+			nr := r.Clone()
+			nr.Head.Pred = name
+			// Instantiate the context on the head arguments and add it
+			// to the body.
+			s := unify.Subst{}
+			for i, t := range nr.Head.Args {
+				s[fmt.Sprintf("A%d", i)] = t
+			}
+			bodySet := order.NewSet(nr.Cmp...)
+			for _, c := range ctx {
+				// Safety guarantees head variables occur in the body,
+				// so the instantiated atom is always groundable.
+				inst := s.ApplyCmp(c)
+				if !bodySet.Implies(inst) {
+					nr.Cmp = append(nr.Cmp, inst)
+					bodySet.Add(inst)
+				}
+			}
+			norm, ok := NormalizeRule(nr)
+			if !ok {
+				continue
+			}
+			// Specialize IDB subgoals by their implied contexts — but
+			// only when pushing pays: a context that neither kills a
+			// rule of the callee nor survives into one of the callee's
+			// own IDB subgoals would merely add a duplicate layer over
+			// the unspecialized predicate (the classic magic-set
+			// duplication hazard), so it stays at the call site.
+			fullSet := order.NewSet(norm.Cmp...)
+			for j, sub := range norm.Pos {
+				if !idb[sub.Pred] {
+					continue
+				}
+				var childCtx []ast.Cmp
+				ss := unify.Subst{}
+				for i, t := range sub.Args {
+					ss[fmt.Sprintf("A%d", i)] = t
+				}
+				for _, c := range candidates(ar[sub.Pred]) {
+					if fullSet.Implies(ss.ApplyCmp(c)) {
+						childCtx = append(childCtx, c)
+					}
+				}
+				ctx := canonCtx(childCtx)
+				if len(ctx) > 0 && !contextUseful(p, idb, sub.Pred, ctx, candidates, ar) {
+					ctx = nil
+				}
+				norm.Pos[j].Pred = intern(sub.Pred, ctx)
+			}
+			out.Rules = append(out.Rules, norm)
+		}
+	}
+	return out, nil
+}
+
+// contextUseful is the one-step lookahead for PushOrder: pushing ctx
+// into pred pays iff, instantiating the context on each of pred's
+// rules, some rule becomes unsatisfiable (dropped) or the context
+// induces a non-empty context on some IDB subgoal (i.e. it survives a
+// recursion step).
+func contextUseful(p *ast.Program, idb map[string]bool, pred string, ctx []ast.Cmp,
+	candidates func(int) []ast.Cmp, ar map[string]int) bool {
+	for _, r := range p.RulesFor(pred) {
+		nr := r.Clone()
+		s := unify.Subst{}
+		for i, t := range nr.Head.Args {
+			s[fmt.Sprintf("A%d", i)] = t
+		}
+		for _, c := range ctx {
+			nr.Cmp = append(nr.Cmp, s.ApplyCmp(c))
+		}
+		norm, ok := NormalizeRule(nr)
+		if !ok {
+			return true // the context kills this rule outright
+		}
+		set := order.NewSet(norm.Cmp...)
+		for _, sub := range norm.Pos {
+			if !idb[sub.Pred] {
+				continue
+			}
+			ss := unify.Subst{}
+			for i, t := range sub.Args {
+				ss[fmt.Sprintf("A%d", i)] = t
+			}
+			for _, c := range candidates(ar[sub.Pred]) {
+				inst := ss.ApplyCmp(c)
+				// Count only constraints the context contributed, not
+				// ones the rule body implies on its own.
+				if set.Implies(inst) && !order.NewSet(r.Cmp...).Implies(ss.ApplyCmp(c)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// canonCtx deduplicates and sorts context atoms by key.
+func canonCtx(ctx []ast.Cmp) []ast.Cmp {
+	seen := map[string]bool{}
+	var out []ast.Cmp
+	for _, c := range ctx {
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

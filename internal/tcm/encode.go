@@ -1,0 +1,296 @@
+package tcm
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Encoding bundles the Theorem 5.4 reduction artifacts for a machine:
+// the datalog program computing reachable configuration times and the
+// halting query, and the {¬}-integrity constraints forcing any
+// consistent database to describe a correct computation.
+type Encoding struct {
+	Program *ast.Program
+	ICs     []ast.IC
+}
+
+var (
+	vT  = ast.V("T")
+	vT2 = ast.V("T2")
+	vX  = ast.V("X")
+	vX2 = ast.V("X2")
+	vY  = ast.V("Y")
+	vY2 = ast.V("Y2")
+	vZ  = ast.V("Z")
+	vZ2 = ast.V("Z2")
+)
+
+func atom(pred string, args ...ast.Term) ast.Atom { return ast.NewAtom(pred, args...) }
+
+// stateChain returns atoms expressing S = j through the zero/succ
+// representation: zero(Z0), succ(Z0, Z1), ..., succ(Z_{j-1}, S).
+// For j = 0 it is just zero(S). Fresh variable names use the given
+// prefix.
+func stateChain(j int, s ast.Term, prefix string) []ast.Atom {
+	if j == 0 {
+		return []ast.Atom{atom("zero", s)}
+	}
+	out := []ast.Atom{atom("zero", ast.V(prefix+"0"))}
+	for k := 0; k < j; k++ {
+		from := ast.V(fmt.Sprintf("%s%d", prefix, k))
+		var to ast.Term = ast.V(fmt.Sprintf("%s%d", prefix, k+1))
+		if k == j-1 {
+			to = s
+		}
+		out = append(out, atom("succ", from, to))
+	}
+	return out
+}
+
+// Encode builds the Theorem 5.4 reduction for the machine. The
+// returned program's query predicate is halt (0-ary); it is satisfiable
+// with respect to the returned constraints iff the machine halts.
+func Encode(m *Machine) (*Encoding, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	enc := &Encoding{Program: &ast.Program{Query: "halt"}}
+
+	// Program: reach computes the times of configurations reachable
+	// from the initial one; halt fires when a reachable configuration
+	// is in the halting state.
+	c1, c2, s := ast.V("C1"), ast.V("C2"), ast.V("S")
+	c1b, c2b, sb := ast.V("C1b"), ast.V("C2b"), ast.V("Sb")
+	enc.Program.Rules = append(enc.Program.Rules,
+		ast.Rule{
+			Head: atom("reach", vT),
+			Pos:  []ast.Atom{atom("cnfg", vT, c1, c2, s), atom("zero", vT)},
+		},
+		ast.Rule{
+			Head: atom("reach", vT2),
+			Pos: []ast.Atom{
+				atom("reach", vT), atom("succ", vT, vT2),
+				atom("cnfg", vT2, c1b, c2b, sb),
+			},
+		},
+	)
+	haltRule := ast.Rule{
+		Head: atom("halt"),
+		Pos:  []ast.Atom{atom("reach", vT), atom("cnfg", vT, c1, c2, s)},
+	}
+	haltRule.Pos = append(haltRule.Pos, stateChain(m.Halt, s, "H")...)
+	enc.Program.Rules = append(enc.Program.Rules, haltRule)
+
+	enc.ICs = append(enc.ICs, domainICs()...)
+	enc.ICs = append(enc.ICs, equalityICs()...)
+	enc.ICs = append(enc.ICs, successorICs()...)
+	enc.ICs = append(enc.ICs, initialConfigICs()...)
+	for _, tr := range m.Trans {
+		enc.ICs = append(enc.ICs, transitionICs(tr)...)
+	}
+	return enc, nil
+}
+
+// domainICs force dom to contain every constant of succ, zero, cnfg.
+func domainICs() []ast.IC {
+	c1, c2, s := ast.V("C1"), ast.V("C2"), ast.V("S")
+	var out []ast.IC
+	out = append(out,
+		ast.IC{Pos: []ast.Atom{atom("succ", vX, vY)}, Neg: []ast.Atom{atom("dom", vX)}},
+		ast.IC{Pos: []ast.Atom{atom("succ", vX, vY)}, Neg: []ast.Atom{atom("dom", vY)}},
+		ast.IC{Pos: []ast.Atom{atom("zero", vX)}, Neg: []ast.Atom{atom("dom", vX)}},
+	)
+	cn := atom("cnfg", vT, c1, c2, s)
+	for _, v := range []ast.Term{vT, c1, c2, s} {
+		out = append(out, ast.IC{Pos: []ast.Atom{cn}, Neg: []ast.Atom{atom("dom", v)}})
+	}
+	return out
+}
+
+// equalityICs force eq to behave as an equality on dom and neq as its
+// complement containing the strict successor reachability.
+//
+// REPAIR OF A PAPER BUG: the appendix's constraint
+//
+//	:- eq(X,X'), neq(X',Z), eq(Z,Z'), neq(Z',Y'), eq(Y',Y), ¬neq(X,Y).
+//
+// composes neq with itself. Since the dichotomy constraints force neq
+// to be symmetric on distinct elements, neq(0,1) and neq(1,0) would
+// force neq(0,0), contradicting eq(0,0) — the printed constraint set
+// is unsatisfiable on every domain with two or more elements. We
+// restore the intent (Claim 6.1: no succ-path connects eq-equal
+// elements) by splitting the role of neq: a strict-order witness lt
+// contains succ modulo eq, is transitive, and is disjoint from eq,
+// while neq remains symmetric distinctness containing lt.
+func equalityICs() []ast.IC {
+	return []ast.IC{
+		// eq reflexive on dom, symmetric, transitive.
+		{Pos: []ast.Atom{atom("dom", vX)}, Neg: []ast.Atom{atom("eq", vX, vX)}},
+		{Pos: []ast.Atom{atom("eq", vX, vY)}, Neg: []ast.Atom{atom("eq", vY, vX)}},
+		{Pos: []ast.Atom{atom("eq", vX, vZ), atom("eq", vZ, vY)}, Neg: []ast.Atom{atom("eq", vX, vY)}},
+		// Any two zeros are equal; nothing non-zero equals a zero.
+		{Pos: []ast.Atom{atom("zero", vX), atom("zero", vY)}, Neg: []ast.Atom{atom("eq", vX, vY)}},
+		{Pos: []ast.Atom{atom("zero", vX), atom("eq", vX, vY)}, Neg: []ast.Atom{atom("zero", vY)}},
+		// lt contains succ modulo eq and is transitive modulo eq.
+		{Pos: []ast.Atom{atom("eq", vX, vX2), atom("succ", vX2, vY2), atom("eq", vY2, vY)},
+			Neg: []ast.Atom{atom("lt", vX, vY)}},
+		{Pos: []ast.Atom{atom("eq", vX, vX2), atom("lt", vX2, vZ), atom("eq", vZ, vZ2),
+			atom("lt", vZ2, vY2), atom("eq", vY2, vY)},
+			Neg: []ast.Atom{atom("lt", vX, vY)}},
+		// Claim 6.1: a succ-path never connects eq-equal elements.
+		{Pos: []ast.Atom{atom("lt", vX, vY), atom("eq", vX, vY)}},
+		// neq is symmetric distinctness containing lt.
+		{Pos: []ast.Atom{atom("lt", vX, vY)}, Neg: []ast.Atom{atom("neq", vX, vY)}},
+		{Pos: []ast.Atom{atom("neq", vX, vY)}, Neg: []ast.Atom{atom("neq", vY, vX)}},
+		// Dichotomy: never both, always one.
+		{Pos: []ast.Atom{atom("eq", vX, vY), atom("neq", vX, vY)}},
+		{Pos: []ast.Atom{atom("dom", vX), atom("dom", vY)},
+			Neg: []ast.Atom{atom("eq", vX, vY), atom("neq", vX, vY)}},
+	}
+}
+
+// successorICs force succ to be a partial injection compatible with
+// eq, with zeros having no predecessor.
+func successorICs() []ast.IC {
+	return []ast.IC{
+		// Equal elements have equal successors and predecessors.
+		{Pos: []ast.Atom{atom("succ", vX, vY), atom("succ", vX2, vZ),
+			atom("eq", vX, vX2), atom("neq", vY, vZ)}},
+		{Pos: []ast.Atom{atom("succ", vY, vX), atom("succ", vZ, vX2),
+			atom("eq", vX, vX2), atom("neq", vY, vZ)}},
+		// A zero has no predecessor.
+		{Pos: []ast.Atom{atom("succ", vX, vY), atom("zero", vY)}},
+	}
+}
+
+// initialConfigICs force configurations at time zero to have zero
+// counters and the zero (start) state, and cnfg to be closed under eq.
+func initialConfigICs() []ast.IC {
+	c1, c2, s := ast.V("C1"), ast.V("C2"), ast.V("S")
+	c1b, c2b, sb, tb := ast.V("C1b"), ast.V("C2b"), ast.V("Sb"), ast.V("Tb")
+	cn := atom("cnfg", vT, c1, c2, s)
+	return []ast.IC{
+		{Pos: []ast.Atom{cn, atom("zero", vT)}, Neg: []ast.Atom{atom("zero", c1)}},
+		{Pos: []ast.Atom{cn, atom("zero", vT)}, Neg: []ast.Atom{atom("zero", c2)}},
+		{Pos: []ast.Atom{cn, atom("zero", vT)}, Neg: []ast.Atom{atom("zero", s)}},
+		{Pos: []ast.Atom{cn, atom("eq", vT, tb), atom("eq", c1, c1b),
+			atom("eq", c2, c2b), atom("eq", s, sb)},
+			Neg: []ast.Atom{atom("cnfg", tb, c1b, c2b, sb)}},
+	}
+}
+
+// transitionICs build the three mismatch constraints for one
+// transition: wrong next state, wrong next c1, wrong next c2. Each is
+// violated when two consecutive configurations match the transition's
+// guard but the successor configuration deviates from its effect.
+func transitionICs(tr Transition) []ast.IC {
+	c1, c2, s := ast.V("C1"), ast.V("C2"), ast.V("S")
+	c1b, c2b, sb := ast.V("C1b"), ast.V("C2b"), ast.V("Sb")
+
+	// Common prefix: two consecutive configurations + guards.
+	prefix := func() ([]ast.Atom, []ast.Atom) {
+		pos := []ast.Atom{
+			atom("cnfg", vT, c1, c2, s),
+			atom("cnfg", vT2, c1b, c2b, sb),
+			atom("succ", vT, vT2),
+		}
+		pos = append(pos, stateChain(tr.State, s, "J")...)
+		var neg []ast.Atom
+		switch tr.C1 {
+		case IfZero:
+			pos = append(pos, atom("zero", c1))
+		case IfPos:
+			neg = append(neg, atom("zero", c1))
+		}
+		switch tr.C2 {
+		case IfZero:
+			pos = append(pos, atom("zero", c2))
+		case IfPos:
+			neg = append(neg, atom("zero", c2))
+		}
+		return pos, neg
+	}
+
+	var out []ast.IC
+
+	// Wrong next state: S'' = tr.Next, neq(Sb, S'').
+	{
+		pos, neg := prefix()
+		s2 := ast.V("Snext")
+		pos = append(pos, stateChain(tr.Next, s2, "K")...)
+		pos = append(pos, atom("neq", sb, s2))
+		out = append(out, ast.IC{Pos: pos, Neg: neg})
+	}
+	// Wrong next c1.
+	{
+		pos, neg := prefix()
+		pos, neg = appendOpMismatch(pos, neg, tr.Op1, c1, c1b, "M1")
+		out = append(out, ast.IC{Pos: pos, Neg: neg})
+	}
+	// Wrong next c2.
+	{
+		pos, neg := prefix()
+		pos, neg = appendOpMismatch(pos, neg, tr.Op2, c2, c2b, "M2")
+		out = append(out, ast.IC{Pos: pos, Neg: neg})
+	}
+	return out
+}
+
+// appendOpMismatch adds the atoms stating "the next counter value nxt
+// is NOT the result of applying op to cur".
+func appendOpMismatch(pos, neg []ast.Atom, op CounterOp, cur, nxt ast.Term, prefix string) ([]ast.Atom, []ast.Atom) {
+	switch op {
+	case Keep:
+		pos = append(pos, atom("neq", nxt, cur))
+	case Inc:
+		w := ast.V(prefix + "w")
+		pos = append(pos, atom("succ", cur, w), atom("neq", nxt, w))
+	case Dec:
+		w := ast.V(prefix + "w")
+		pos = append(pos, atom("succ", w, cur), atom("neq", nxt, w))
+	}
+	return pos, neg
+}
+
+// TraceDB materializes a finite run as a concrete extensional
+// database over the encoding's vocabulary: a number line 0..max with
+// succ/zero/dom/eq/neq, and one cnfg fact per trace configuration. The
+// resulting database satisfies every constraint of the encoding
+// exactly when the trace is a correct computation.
+func TraceDB(m *Machine, trace []Config) []ast.Atom {
+	maxVal := len(trace) // times 0..len-1; counters may exceed that
+	for _, c := range trace {
+		if c.C1+1 > maxVal {
+			maxVal = c.C1 + 1
+		}
+		if c.C2+1 > maxVal {
+			maxVal = c.C2 + 1
+		}
+		if c.State+1 > maxVal {
+			maxVal = c.State + 1
+		}
+	}
+	n := func(i int) ast.Term { return ast.N(float64(i)) }
+	var facts []ast.Atom
+	facts = append(facts, atom("zero", n(0)))
+	for i := 0; i <= maxVal; i++ {
+		facts = append(facts, atom("dom", n(i)))
+		facts = append(facts, atom("eq", n(i), n(i)))
+		if i < maxVal {
+			facts = append(facts, atom("succ", n(i), n(i+1)))
+		}
+		for j := 0; j <= maxVal; j++ {
+			if i < j {
+				facts = append(facts, atom("lt", n(i), n(j)))
+			}
+			if i != j {
+				facts = append(facts, atom("neq", n(i), n(j)))
+			}
+		}
+	}
+	for _, c := range trace {
+		facts = append(facts, atom("cnfg", n(c.Time), n(c.C1), n(c.C2), n(c.State)))
+	}
+	return facts
+}

@@ -1,0 +1,264 @@
+// Package unify provides substitutions, most-general unifiers, and
+// homomorphism enumeration over the function-free atoms of package
+// ast. Homomorphisms (containment mappings) are the engine underneath
+// residue computation, adornment construction, and query containment.
+package unify
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Subst is a substitution: a finite map from variable names to terms.
+// Bindings may chain through variables; Walk resolves a term to its
+// final binding.
+type Subst map[string]ast.Term
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Walk resolves t through the substitution until it reaches a constant
+// or an unbound variable.
+func (s Subst) Walk(t ast.Term) ast.Term {
+	for t.IsVar() {
+		b, ok := s[t.Name]
+		if !ok {
+			return t
+		}
+		t = b
+	}
+	return t
+}
+
+// Bind adds the binding v -> t, where v must be an unbound variable
+// name under s.
+func (s Subst) Bind(v string, t ast.Term) { s[v] = t }
+
+// Apply returns t with the substitution applied (fully resolved).
+func (s Subst) Apply(t ast.Term) ast.Term { return s.Walk(t) }
+
+// ApplyAtom returns a with the substitution applied to every argument.
+func (s Subst) ApplyAtom(a ast.Atom) ast.Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		out.Args[i] = s.Walk(t)
+	}
+	return out
+}
+
+// ApplyCmp returns c with the substitution applied to both sides.
+func (s Subst) ApplyCmp(c ast.Cmp) ast.Cmp {
+	c.Left = s.Walk(c.Left)
+	c.Right = s.Walk(c.Right)
+	return c
+}
+
+// ApplyRule returns r with the substitution applied throughout.
+func (s Subst) ApplyRule(r ast.Rule) ast.Rule {
+	out := ast.Rule{Head: s.ApplyAtom(r.Head)}
+	for _, a := range r.Pos {
+		out.Pos = append(out.Pos, s.ApplyAtom(a))
+	}
+	for _, a := range r.Neg {
+		out.Neg = append(out.Neg, s.ApplyAtom(a))
+	}
+	for _, c := range r.Cmp {
+		out.Cmp = append(out.Cmp, s.ApplyCmp(c))
+	}
+	return out
+}
+
+// ApplyIC returns ic with the substitution applied throughout.
+func (s Subst) ApplyIC(ic ast.IC) ast.IC {
+	out := ast.IC{}
+	for _, a := range ic.Pos {
+		out.Pos = append(out.Pos, s.ApplyAtom(a))
+	}
+	for _, a := range ic.Neg {
+		out.Neg = append(out.Neg, s.ApplyAtom(a))
+	}
+	for _, c := range ic.Cmp {
+		out.Cmp = append(out.Cmp, s.ApplyCmp(c))
+	}
+	return out
+}
+
+// String renders the substitution deterministically, e.g. {X->1, Y->Z}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString("->")
+		b.WriteString(s.Walk(ast.V(k)).String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// unifyTerm extends s so that a and b become equal, or reports failure.
+func unifyTerm(a, b ast.Term, s Subst) bool {
+	a, b = s.Walk(a), s.Walk(b)
+	switch {
+	case a.IsVar() && b.IsVar():
+		if a.Name != b.Name {
+			s.Bind(a.Name, b)
+		}
+		return true
+	case a.IsVar():
+		s.Bind(a.Name, b)
+		return true
+	case b.IsVar():
+		s.Bind(b.Name, a)
+		return true
+	default:
+		return a.Equal(b)
+	}
+}
+
+// Unify computes a most-general unifier of two atoms, extending the
+// given substitution (which may be nil). It returns the extended
+// substitution and whether unification succeeded. The input
+// substitution is not modified.
+func Unify(a, b ast.Atom, s Subst) (Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	out := Subst{}
+	if s != nil {
+		out = s.Clone()
+	}
+	for i := range a.Args {
+		if !unifyTerm(a.Args[i], b.Args[i], out) {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// matchTerm extends s so that pattern term p maps to target term t,
+// binding only variables in the pattern-variable set pv. A walked-to
+// term outside pv (a target variable already chosen as some pattern
+// variable's image, or a constant) must equal t exactly.
+func matchTerm(p, t ast.Term, s Subst, pv map[string]bool) bool {
+	p = s.Walk(p)
+	if p.IsVar() && pv[p.Name] {
+		s.Bind(p.Name, t)
+		return true
+	}
+	return p.Equal(t)
+}
+
+// Match computes a one-way matcher from pattern to target: a
+// substitution σ over the pattern's variables with σ(pattern) ==
+// target. Variables of the target are treated as constants, so
+// distinct target variables stay distinct. The pattern's and target's
+// variable sets must be disjoint (rename apart first; see
+// ast.Freshener) — otherwise a shared name is treated as a pattern
+// variable. The input substitution is not modified; Match returns the
+// extended substitution on success.
+func Match(pattern, target ast.Atom, s Subst) (Subst, bool) {
+	pv := map[string]bool{}
+	for _, v := range pattern.Vars(nil) {
+		pv[v] = true
+	}
+	return matchWithVars(pattern, target, s, pv)
+}
+
+// matchWithVars is Match with an explicit pattern-variable set, shared
+// across the atoms of a conjunction during homomorphism search.
+func matchWithVars(pattern, target ast.Atom, s Subst, pv map[string]bool) (Subst, bool) {
+	if pattern.Pred != target.Pred || len(pattern.Args) != len(target.Args) {
+		return nil, false
+	}
+	out := Subst{}
+	if s != nil {
+		out = s.Clone()
+	}
+	for i := range pattern.Args {
+		if !matchTerm(pattern.Args[i], target.Args[i], out, pv) {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// Homomorphisms enumerates every homomorphism from the conjunction src
+// into the conjunction dst: substitutions σ over the variables of src
+// such that for every atom a ∈ src, σ(a) is (structurally equal to) an
+// atom of dst. The variable sets of src and dst must be disjoint
+// (rename apart first). fn is called once per homomorphism; returning
+// false stops the enumeration early. Homomorphisms reports whether at
+// least one homomorphism was found.
+func Homomorphisms(src, dst []ast.Atom, fn func(Subst) bool) bool {
+	pv := map[string]bool{}
+	for _, a := range src {
+		for _, v := range a.Vars(nil) {
+			pv[v] = true
+		}
+	}
+	found := false
+	var rec func(i int, s Subst) bool // returns false to abort everything
+	rec = func(i int, s Subst) bool {
+		if i == len(src) {
+			found = true
+			return fn(s.Clone())
+		}
+		for _, d := range dst {
+			if next, ok := matchWithVars(src[i], d, s, pv); ok {
+				if !rec(i+1, next) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0, Subst{})
+	return found
+}
+
+// HasHomomorphism reports whether any homomorphism exists from src
+// into dst.
+func HasHomomorphism(src, dst []ast.Atom) bool {
+	return Homomorphisms(src, dst, func(Subst) bool { return false })
+}
+
+// Freeze replaces every variable of the atoms with a distinct fresh
+// string constant (the canonical database construction). The returned
+// map records the chosen constant for each variable.
+func Freeze(atoms []ast.Atom) ([]ast.Atom, map[string]ast.Term) {
+	frozen := map[string]ast.Term{}
+	out := make([]ast.Atom, len(atoms))
+	for i, a := range atoms {
+		b := a.Clone()
+		for j, t := range b.Args {
+			if !t.IsVar() {
+				continue
+			}
+			c, ok := frozen[t.Name]
+			if !ok {
+				c = ast.S("\x00frz_" + t.Name) // NUL prefix: cannot collide with user constants
+				frozen[t.Name] = c
+			}
+			b.Args[j] = c
+		}
+		out[i] = b
+	}
+	return out, frozen
+}

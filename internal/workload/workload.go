@@ -1,0 +1,198 @@
+// Package workload generates the synthetic extensional databases used
+// by the examples, tests, and the experiment harness: the step-graphs
+// with start/end points that motivate Example 3.1 and the Section 3
+// threshold example, the two-flavour (a/b) edge graphs of the Figure 1
+// running example, and random graphs for differential testing. All
+// generators are deterministic given their parameters.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+)
+
+func num(i int) ast.Term { return ast.N(float64(i)) }
+
+// Chain returns step(i, i+1) facts for i in [from, from+n).
+func Chain(from, n int) []ast.Atom {
+	out := make([]ast.Atom, 0, n)
+	for i := from; i < from+n; i++ {
+		out = append(out, ast.NewAtom("step", num(i), num(i+1)))
+	}
+	return out
+}
+
+// GoodPath builds the Example 3.1 workload: a low chain of lowN steps
+// whose nodes all lie strictly below zero (and hence below any
+// positive threshold), a high chain of highN steps starting at
+// highStart, one start point and one end point on the high chain.
+// Evaluating goodPath on it answers exactly one tuple, but an
+// unoptimized program wastes work on the low chain and on backwards
+// start/end combinations.
+func GoodPath(lowN, highStart, highN int) []ast.Atom {
+	facts := Chain(-lowN-1, lowN)
+	facts = append(facts, Chain(highStart, highN)...)
+	facts = append(facts,
+		ast.NewAtom("startPoint", num(highStart)),
+		ast.NewAtom("endPoint", num(highStart+highN)),
+	)
+	return facts
+}
+
+// GoodPathMulti is GoodPath with several start/end points spread over
+// the high chain (selectivity sweep support): starts are placed at the
+// beginning of the high chain, ends at its tail.
+func GoodPathMulti(lowN, highStart, highN, points int) []ast.Atom {
+	facts := Chain(-lowN-1, lowN)
+	facts = append(facts, Chain(highStart, highN)...)
+	for i := 0; i < points; i++ {
+		facts = append(facts,
+			ast.NewAtom("startPoint", num(highStart+i)),
+			ast.NewAtom("endPoint", num(highStart+highN-i)),
+		)
+	}
+	return facts
+}
+
+// ABChains builds the Figure 1 workload: a chain of bN b-edges
+// followed by a chain of aN a-edges (so the database satisfies the
+// constraint "no b after a"), sharing the junction node.
+func ABChains(bN, aN int) []ast.Atom {
+	var out []ast.Atom
+	for i := 0; i < bN; i++ {
+		out = append(out, ast.NewAtom("b", num(i), num(i+1)))
+	}
+	for i := bN; i < bN+aN; i++ {
+		out = append(out, ast.NewAtom("a", num(i), num(i+1)))
+	}
+	return out
+}
+
+// ABComb builds a denser Figure 1 workload: width parallel b-chains of
+// length bLen feeding into width parallel a-chains of length aLen via
+// a shared junction — many b-then-a paths, no a-then-b ones.
+func ABComb(width, bLen, aLen int) []ast.Atom {
+	var out []ast.Atom
+	id := 1
+	junction := 0
+	for w := 0; w < width; w++ {
+		prev := id
+		id++
+		for i := 1; i < bLen; i++ {
+			out = append(out, ast.NewAtom("b", num(prev), num(id)))
+			prev = id
+			id++
+		}
+		out = append(out, ast.NewAtom("b", num(prev), num(junction)))
+	}
+	for w := 0; w < width; w++ {
+		prev := junction
+		for i := 0; i < aLen; i++ {
+			out = append(out, ast.NewAtom("a", num(prev), num(id)))
+			prev = id
+			id++
+		}
+	}
+	return out
+}
+
+// RandomGraph returns m random edge(x, y) facts over n nodes.
+func RandomGraph(n, m int, seed int64) []ast.Atom {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ast.Atom, 0, m)
+	for i := 0; i < m; i++ {
+		out = append(out, ast.NewAtom("edge",
+			num(rng.Intn(n)), num(rng.Intn(n))))
+	}
+	return out
+}
+
+// MonotoneRandomGraph returns m random strictly-increasing step(x, y)
+// facts over n nodes (satisfying :- step(X, Y), X >= Y).
+func MonotoneRandomGraph(n, m int, seed int64) []ast.Atom {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ast.Atom, 0, m)
+	for len(out) < m {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if x < y {
+			out = append(out, ast.NewAtom("step", num(x), num(y)))
+		}
+	}
+	return out
+}
+
+// DB materializes facts into a fresh evaluation database.
+func DB(facts []ast.Atom) *eval.DB {
+	db := eval.NewDB()
+	db.AddFacts(facts)
+	return db
+}
+
+// BiChainPoints builds the Example 3.1 stress workload: a
+// bidirectional chain over n nodes (steps in both directions, so the
+// path closure is the full n x n relation), start points on the
+// second quarter of the chain and end points on the last quarter (so
+// the database satisfies ":- startPoint(X), endPoint(Y), Y <= X").
+// Backward paths from the start points are pure waste that the
+// residue Y > X lets the optimizer skip.
+func BiChainPoints(n int) []ast.Atom {
+	var out []ast.Atom
+	for i := 1; i < n; i++ {
+		out = append(out,
+			ast.NewAtom("step", num(i), num(i+1)),
+			ast.NewAtom("step", num(i+1), num(i)),
+		)
+	}
+	for i := n / 4; i < n/2; i++ {
+		out = append(out, ast.NewAtom("startPoint", num(i)))
+	}
+	for j := 3*n/4 + 1; j <= n; j++ {
+		out = append(out, ast.NewAtom("endPoint", num(j)))
+	}
+	return out
+}
+
+// StarPoints builds the workload where Example 3.1's residue pays off
+// directly: k start points, each with m downward step edges (to nodes
+// below every start point) plus one upward edge to its own end point.
+// The database satisfies ":- startPoint(X), endPoint(Y), Y <= X", and
+// the Y > X residue lets the optimizer skip the m wasted endPoint
+// probes per start.
+func StarPoints(k, m int) []ast.Atom {
+	var out []ast.Atom
+	// Low nodes occupy 1..k*m, starts k*m+1..k*m+k, ends above that.
+	for i := 0; i < k; i++ {
+		start := k*m + 1 + i
+		end := k*m + k + 1 + i
+		out = append(out, ast.NewAtom("startPoint", num(start)))
+		out = append(out, ast.NewAtom("endPoint", num(end)))
+		out = append(out, ast.NewAtom("step", num(start), num(end)))
+		for j := 0; j < m; j++ {
+			out = append(out, ast.NewAtom("step", num(start), num(i*m+j+1)))
+		}
+	}
+	return out
+}
+
+// StarPaths is the Example 3.1 workload with the path relation
+// materialized as EDB facts, isolating the rule the example rewrites:
+// k start points each with m "backward" paths (to nodes below every
+// start point) and one forward path to its own end point. The
+// constraint ":- startPoint(X), endPoint(Y), Y <= X" holds, and the
+// residue Y > X skips the m wasted endPoint joins per start.
+func StarPaths(k, m int) []ast.Atom {
+	var out []ast.Atom
+	for i := 0; i < k; i++ {
+		start := k*m + 1 + i
+		end := k*m + k + 1 + i
+		out = append(out, ast.NewAtom("startPoint", num(start)))
+		out = append(out, ast.NewAtom("endPoint", num(end)))
+		out = append(out, ast.NewAtom("path", num(start), num(end)))
+		for j := 0; j < m; j++ {
+			out = append(out, ast.NewAtom("path", num(start), num(i*m+j+1)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package sqo is a semantic query optimizer for datalog programs — a
+// from-scratch reproduction of
+//
+//	Alon Y. Levy and Yehoshua Sagiv,
+//	"Semantic Query Optimization in Datalog Programs",
+//	PODS 1995.
+//
+// Given a datalog program (function-free Horn rules with optional
+// dense-order comparison atoms and negated EDB subgoals) and a set of
+// integrity constraints (rules with empty heads), the optimizer
+// rewrites the program so that it completely incorporates the
+// constraints: every goal node of every symbolic derivation tree of
+// the rewritten program is query reachable on some database satisfying
+// the constraints. Sequences of rule applications that the constraints
+// doom to emptiness are compiled away, selections implied by the
+// constraints are pushed to the earliest point of evaluation, and
+// residues of partially-applicable constraints are attached as extra
+// comparison filters (Theorems 4.1 and 4.2 of the paper).
+//
+// The package also exposes the surrounding theory of Section 5:
+// query-predicate satisfiability, program emptiness (Proposition 5.2),
+// conjunctive-query and program/UCQ containment with both directions
+// of the Proposition 5.1 reduction, and the two-counter-machine
+// construction behind the Theorem 5.4 undecidability result.
+//
+// # Quick start
+//
+//	unit, _ := sqo.Parse(`
+//	    path(X, Y) :- step(X, Y).
+//	    path(X, Y) :- step(X, Z), path(Z, Y).
+//	    goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+//	    ?- goodPath.
+//	`)
+//	ics, _ := sqo.ParseICs(`:- startPoint(X), endPoint(Y), Y <= X.`)
+//	res, _ := sqo.Optimize(unit.Program, ics)
+//	fmt.Println(res.Program) // the rewritten program
+//
+// See the examples/ directory for complete runnable programs.
+package sqo
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/contain"
+	"repro/internal/emptiness"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/qtree"
+	"repro/internal/residue"
+	"repro/internal/tcm"
+)
+
+// Program is a datalog program with a distinguished query predicate.
+type Program = ast.Program
+
+// Rule is a single Horn rule (also used to represent conjunctive
+// queries: head = distinguished variables, body = the conjunction).
+type Rule = ast.Rule
+
+// IC is an integrity constraint — a rule with an empty head.
+type IC = ast.IC
+
+// Atom is a relational atom.
+type Atom = ast.Atom
+
+// Term is a variable or constant.
+type Term = ast.Term
+
+// DB is an extensional or intensional database.
+type DB = eval.DB
+
+// Stats reports evaluation instrumentation (rounds, rule firings,
+// join probes, derived tuples).
+type Stats = eval.Stats
+
+// Unit is a parsed source text: program, constraints, and ground facts.
+type Unit = parser.Unit
+
+// Result is the outcome of semantic query optimization.
+type Result = qtree.Outcome
+
+// Options selects optimizer passes (ablation support); use
+// DefaultOptions for the paper's full pipeline.
+type Options = qtree.Options
+
+// Machine is a two-counter machine (Theorem 5.4 apparatus).
+type Machine = tcm.Machine
+
+// Parse parses a source text containing rules, integrity constraints,
+// ground facts, and an optional query declaration, in any order.
+func Parse(src string) (*Unit, error) { return parser.Parse(src) }
+
+// ParseProgram parses rules plus an optional query declaration.
+func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src) }
+
+// ParseICs parses integrity constraints.
+func ParseICs(src string) ([]IC, error) { return parser.ParseICs(src) }
+
+// ParseFacts parses ground facts.
+func ParseFacts(src string) ([]Atom, error) { return parser.ParseFacts(src) }
+
+// MustParseProgram is ParseProgram, panicking on error.
+func MustParseProgram(src string) *Program { return parser.MustParseProgram(src) }
+
+// MustParseICs is ParseICs, panicking on error.
+func MustParseICs(src string) []IC { return parser.MustParseICs(src) }
+
+// MustParseFacts is ParseFacts, panicking on error.
+func MustParseFacts(src string) []Atom { return parser.MustParseFacts(src) }
+
+// DefaultOptions enables the full optimization pipeline.
+func DefaultOptions() Options { return qtree.DefaultOptions() }
+
+// Optimize rewrites the program to completely incorporate the
+// integrity constraints (the paper's main algorithm: local-atom
+// rewriting, selection pushing, bottom-up adornments, top-down query
+// tree, pruning, and residue attachment).
+func Optimize(p *Program, ics []IC) (*Result, error) {
+	return qtree.Optimize(p, ics)
+}
+
+// OptimizeWith is Optimize with explicit pass selection.
+func OptimizeWith(p *Program, ics []IC, opts Options) (*Result, error) {
+	return qtree.OptimizeWith(p, ics, opts)
+}
+
+// BaselineOptimize applies the per-rule residue method of [CGM88] —
+// the prior art the paper improves on; used for comparison.
+func BaselineOptimize(p *Program, ics []IC) *Program {
+	return residue.Optimize(p, ics)
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return eval.NewDB() }
+
+// NewDBFrom returns a database holding the given ground facts.
+func NewDBFrom(facts []Atom) *DB {
+	db := eval.NewDB()
+	db.AddFacts(facts)
+	return db
+}
+
+// Eval evaluates the program bottom-up (semi-naive, hash-indexed) over
+// the extensional database, returning the IDB relations.
+func Eval(p *Program, edb *DB) (*DB, *Stats, error) { return eval.Eval(p, edb) }
+
+// EvalOptions configures evaluation for Ablations.
+type EvalOptions = eval.Options
+
+// EvalWith evaluates with explicit engine options.
+func EvalWith(p *Program, edb *DB, opts EvalOptions) (*DB, *Stats, error) {
+	return eval.EvalWith(p, edb, opts)
+}
+
+// Query evaluates the program and returns the query predicate's tuples.
+func Query(p *Program, edb *DB) ([]eval.Tuple, *Stats, error) { return eval.Query(p, edb) }
+
+// Satisfiable decides whether the program's query predicate has any
+// derivation on a database satisfying the constraints (Theorem 5.1's
+// decision procedure, for the decidable constraint classes).
+func Satisfiable(p *Program, ics []IC) (bool, error) {
+	return contain.ProgramSatisfiable(p, ics)
+}
+
+// EmptinessOptions bounds the emptiness decision procedures.
+type EmptinessOptions = emptiness.Options
+
+// Empty decides program emptiness via Proposition 5.2 (all
+// initialization rules unsatisfiable). decided is false when a chase
+// budget was exhausted (the {¬}-constraint cases are only
+// semi-decidable, Theorem 5.4).
+func Empty(p *Program, ics []IC, opts EmptinessOptions) (empty, decided bool, err error) {
+	return emptiness.Empty(p, ics, opts)
+}
+
+// CQContained decides containment of pure conjunctive queries by
+// containment mapping.
+func CQContained(q1, q2 Rule) (bool, error) { return contain.Contained(q1, q2) }
+
+// CQContainedOrder decides CQ containment in the presence of order
+// atoms, completely (via linearization case analysis).
+func CQContainedOrder(q1, q2 Rule) (bool, error) {
+	return contain.ContainedOrderComplete(q1, q2)
+}
+
+// ProgramContainedInUCQ decides containment of a datalog program in a
+// union of conjunctive queries via the Proposition 5.1 reduction.
+func ProgramContainedInUCQ(p *Program, ucq []Rule) (bool, error) {
+	return contain.ProgramContainedInUCQ(p, ucq)
+}
+
+// EncodeTwoCounter builds the Theorem 5.4 reduction for a two-counter
+// machine: a program whose query predicate (halt) is satisfiable with
+// respect to the returned constraints iff the machine halts.
+func EncodeTwoCounter(m *Machine) (*Program, []IC, error) {
+	enc, err := tcm.Encode(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc.Program, enc.ICs, nil
+}
+
+// TwoCounterTraceDB materializes a bounded run of the machine as a
+// concrete database over the encoding's vocabulary; the database
+// satisfies the constraints exactly when the trace is a correct
+// computation.
+func TwoCounterTraceDB(m *Machine, maxSteps int) (facts []Atom, halted bool) {
+	trace, h := m.Run(maxSteps)
+	return tcm.TraceDB(m, trace), h
+}
+
+// Explain renders the optimizer's query forest (Figure 1 of the
+// paper) as indented text.
+func Explain(res *Result) string {
+	if res == nil || res.Tree == nil {
+		return "(no query tree)"
+	}
+	return res.Tree.Print()
+}
+
+// FormatProgram renders a program in source syntax including the
+// query declaration.
+func FormatProgram(p *Program) string {
+	s := p.String()
+	if p.Query != "" {
+		s += fmt.Sprintf("?- %s.\n", p.Query)
+	}
+	return s
+}
+
+// SatisfiabilityAsNonContainment builds the converse Proposition 5.1
+// reduction: the query predicate of p is satisfiable w.r.t. ics iff
+// the returned program is NOT contained in the returned union of
+// conjunctive queries.
+func SatisfiabilityAsNonContainment(p *Program, ics []IC) (*Program, []Rule, error) {
+	return contain.SatisfiabilityAsNonContainment(p, ics)
+}
+
+// Derivation is a ground derivation tree for an answer (the ground
+// counterpart of the paper's symbolic derivation trees).
+type Derivation = eval.Derivation
+
+// EvalProv evaluates the program while recording provenance, and
+// returns a function that reconstructs the derivation tree of any
+// derived fact.
+func EvalProv(p *Program, edb *DB) (*DB, func(Atom) (*Derivation, error), *Stats, error) {
+	idb, prov, stats, err := eval.EvalProv(p, edb)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	idbPreds := p.IDB()
+	explain := func(fact Atom) (*Derivation, error) {
+		return prov.Tree(fact, idbPreds, edb)
+	}
+	return idb, explain, stats, nil
+}
