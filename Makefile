@@ -1,0 +1,32 @@
+# Shared entry points for local development and CI (.github/workflows/ci.yml
+# invokes these same targets so the two can't drift).
+
+GO ?= go
+
+.PHONY: build vet fmt test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke test that the benchmarks still
+# compile and run, not a measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt test

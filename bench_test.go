@@ -46,10 +46,14 @@ func BenchmarkF1QueryTree(b *testing.B) {
 
 // benchEval factors the evaluate-original-vs-rewritten pattern.
 func benchEval(b *testing.B, prog *Program, db *DB) {
+	benchEvalWith(b, prog, db, EvalOptions{Seminaive: true, UseIndex: true})
+}
+
+func benchEvalWith(b *testing.B, prog *Program, db *DB, opts EvalOptions) {
 	b.ReportAllocs()
 	var probes int64
 	for i := 0; i < b.N; i++ {
-		_, stats, err := Eval(prog, db)
+		_, stats, err := EvalWith(prog, db, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,6 +77,12 @@ func BenchmarkE1GoodPath(b *testing.B) {
 	db := NewDBFrom(workload.StarPaths(40, 40))
 	b.Run("original", func(b *testing.B) { benchEval(b, p, db) })
 	b.Run("rewritten", func(b *testing.B) { benchEval(b, res.Program, db) })
+	b.Run("original-seq", func(b *testing.B) {
+		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 1})
+	})
+	b.Run("original-par4", func(b *testing.B) {
+		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 4})
+	})
 }
 
 // BenchmarkE2Threshold evaluates the Section 3 threshold example.
@@ -89,6 +99,12 @@ func BenchmarkE2Threshold(b *testing.B) {
 	db := NewDBFrom(workload.GoodPath(200, 100, 40))
 	b.Run("original", func(b *testing.B) { benchEval(b, p, db) })
 	b.Run("rewritten", func(b *testing.B) { benchEval(b, res.Program, db) })
+	b.Run("original-seq", func(b *testing.B) {
+		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 1})
+	})
+	b.Run("original-par4", func(b *testing.B) {
+		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 4})
+	})
 }
 
 // BenchmarkE3ABPaths evaluates the Figure 1 two-flavour closure.
@@ -102,6 +118,12 @@ func BenchmarkE3ABPaths(b *testing.B) {
 	db := NewDBFrom(workload.ABComb(8, 14, 14))
 	b.Run("original", func(b *testing.B) { benchEval(b, p, db) })
 	b.Run("rewritten", func(b *testing.B) { benchEval(b, res.Program, db) })
+	b.Run("original-seq", func(b *testing.B) {
+		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 1})
+	})
+	b.Run("original-par4", func(b *testing.B) {
+		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 4})
+	})
 }
 
 // BenchmarkE4Construction measures query-tree construction cost as the
@@ -246,6 +268,37 @@ func BenchmarkA2BaselineVsQtree(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkP1ParallelTransClosure sweeps the worker pool size on a
+// large transitive closure. On a multi-core host the per-round delta
+// partitions spread across workers; on a single core all counts
+// degenerate to the same work (results stay identical by construction).
+func BenchmarkP1ParallelTransClosure(b *testing.B) {
+	p := MustParseProgram(`
+		path(X, Y) :- step(X, Y).
+		path(X, Y) :- step(X, Z), path(Z, Y).
+		?- path.
+	`)
+	db := NewDBFrom(workload.Chain(1, 250))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: w})
+		})
+	}
+}
+
+// BenchmarkP1ParallelGoodPath sweeps the worker pool size on the
+// Section 3 goodpath workload (three rules, so rule-level parallelism
+// composes with delta partitioning).
+func BenchmarkP1ParallelGoodPath(b *testing.B) {
+	p := MustParseProgram(goodPathSrc)
+	db := NewDBFrom(workload.GoodPath(600, 100, 150))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: w})
+		})
+	}
 }
 
 // BenchmarkA3SeminaiveVsNaive compares the evaluation engines on a

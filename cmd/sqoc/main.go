@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	sqoc [-facts file] [-explain] [-baseline] [-stats] [file]
+//	sqoc [-facts file] [-explain] [-baseline] [-stats] [-parallel n] [file]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also print the [CGM88] per-rule baseline rewriting")
 	stats := flag.Bool("stats", false, "print query-tree statistics")
 	why := flag.Bool("why", false, "print a derivation tree for each answer (requires facts)")
+	parallel := flag.Int("parallel", 0, "evaluation workers (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -84,11 +85,12 @@ func main() {
 	}
 	if len(facts) > 0 {
 		db := sqo.NewDBFrom(facts)
-		origTuples, origStats, err := sqo.Query(unit.Program, db)
+		opts := sqo.EvalOptions{Seminaive: true, UseIndex: true, Workers: *parallel}
+		origTuples, origStats, err := sqo.QueryWith(unit.Program, db, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		optTuples, optStats, err := sqo.Query(res.Program, db)
+		optTuples, optStats, err := sqo.QueryWith(res.Program, db, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

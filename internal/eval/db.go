@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 )
@@ -40,14 +41,22 @@ func (t Tuple) String() string {
 
 // Relation is a set of same-arity tuples with hash indexes built on
 // demand for bound-position lookups.
+//
+// Concurrency: any number of goroutines may read a relation (Len,
+// Contains, Tuples, lookup) concurrently — the lazy index build inside
+// lookup is internally synchronized. Mutation (Add) requires that no
+// reader runs concurrently; the evaluator guarantees this by only
+// adding tuples at single-threaded round barriers.
 type Relation struct {
 	Arity  int
 	tuples []Tuple
 	seen   map[string]bool
+	// mu guards indexes: concurrent probes of the same un-indexed
+	// position mask would otherwise race on the lazy build.
+	mu sync.RWMutex
 	// indexes maps a position-mask key ("0,2") to an index from the
 	// key of the values at those positions to tuple slice indices.
 	indexes map[string]map[string][]int
-	version int // bumped on Add; invalidates indexes
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -72,16 +81,17 @@ func (r *Relation) Add(t Tuple) bool {
 	}
 	r.seen[k] = true
 	r.tuples = append(r.tuples, t)
-	r.version++
 	// Maintain existing indexes incrementally instead of invalidating
 	// them: evaluation adds tuples continuously and a full rebuild per
 	// growth step would dominate the run time.
 	idx := len(r.tuples) - 1
+	r.mu.Lock()
 	for mk, index := range r.indexes {
 		pos := parseMask(mk)
 		key := valsKeyAt(t, pos)
 		index[key] = append(index[key], idx)
 	}
+	r.mu.Unlock()
 	return true
 }
 
@@ -114,19 +124,29 @@ func (r *Relation) Len() int { return len(r.tuples) }
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // lookup returns the indices of tuples whose values at positions pos
-// equal vals, using (and lazily building) a hash index.
+// equal vals, using (and lazily building) a hash index. It is safe for
+// concurrent use by multiple readers: the lazy build is double-checked
+// under an RWMutex, so two goroutines probing the same un-indexed
+// position mask cannot race.
 func (r *Relation) lookup(pos []int, vals []ast.Term) []int {
 	mk := maskKey(pos)
-	if r.indexes == nil {
-		r.indexes = map[string]map[string][]int{}
-	}
+	r.mu.RLock()
 	idx, ok := r.indexes[mk]
+	r.mu.RUnlock()
 	if !ok {
-		idx = map[string][]int{}
-		for i, t := range r.tuples {
-			idx[valsKeyAt(t, pos)] = append(idx[valsKeyAt(t, pos)], i)
+		r.mu.Lock()
+		idx, ok = r.indexes[mk]
+		if !ok {
+			idx = map[string][]int{}
+			for i, t := range r.tuples {
+				idx[valsKeyAt(t, pos)] = append(idx[valsKeyAt(t, pos)], i)
+			}
+			if r.indexes == nil {
+				r.indexes = map[string]map[string][]int{}
+			}
+			r.indexes[mk] = idx
 		}
-		r.indexes[mk] = idx
+		r.mu.Unlock()
 	}
 	return idx[valsKey(vals)]
 }

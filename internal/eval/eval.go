@@ -2,11 +2,18 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 )
 
-// Stats reports instrumentation collected during evaluation.
+// Stats reports instrumentation collected during evaluation. All
+// counters are deterministic: for a fixed program, database, and
+// options they do not depend on Options.Workers, because every fixpoint
+// round evaluates against a frozen snapshot and merges per-task results
+// in a fixed order (see runRound).
 type Stats struct {
 	// Iterations is the number of fixpoint rounds executed.
 	Iterations int
@@ -33,11 +40,25 @@ type Options struct {
 	// MaxTuples aborts evaluation when the total number of derived IDB
 	// tuples exceeds the bound (0 = unlimited). Guards runaway tests.
 	MaxTuples int64
+	// Workers bounds the number of goroutines that evaluate rule tasks
+	// concurrently within a fixpoint round. 0 means one worker per
+	// available CPU (runtime.GOMAXPROCS(0)); 1 forces fully sequential
+	// execution with no goroutines. Answers and Stats are identical for
+	// every worker count.
+	Workers int
 }
 
 // DefaultOptions are the options used by Eval.
 func DefaultOptions() Options {
 	return Options{Seminaive: true, UseIndex: true}
+}
+
+// effectiveWorkers resolves Options.Workers to a concrete pool size.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Eval evaluates the program bottom-up over the given EDB and returns
@@ -52,7 +73,14 @@ func EvalWith(p *ast.Program, edb *DB, opts Options) (*DB, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
-	ev := &evaluator{prog: p, edb: edb, idb: NewDB(), opts: opts, stats: &Stats{}}
+	ev := &evaluator{
+		prog:    p,
+		edb:     edb,
+		idb:     NewDB(),
+		opts:    opts,
+		workers: opts.effectiveWorkers(),
+		stats:   &Stats{},
+	}
 	if err := ev.run(); err != nil {
 		return nil, nil, err
 	}
@@ -60,15 +88,16 @@ func EvalWith(p *ast.Program, edb *DB, opts Options) (*DB, *Stats, error) {
 }
 
 type evaluator struct {
-	prog  *ast.Program
-	edb   *DB
-	idb   *DB
-	delta *DB // tuples new in the previous round (semi-naive)
-	opts  Options
-	stats *Stats
-	idbPr map[string]bool
-	arity map[string]int
-	prov  *Provenance // non-nil when provenance tracking is on
+	prog    *ast.Program
+	edb     *DB
+	idb     *DB
+	delta   *DB // tuples new in the previous round (semi-naive)
+	opts    Options
+	workers int
+	stats   *Stats
+	idbPr   map[string]bool
+	arity   map[string]int
+	prov    *Provenance // non-nil when provenance tracking is on
 }
 
 func (ev *evaluator) run() error {
@@ -89,46 +118,133 @@ func (ev *evaluator) run() error {
 	return ev.runNaive()
 }
 
+// task is one unit of round work: evaluate one rule with one subgoal
+// occurrence restricted to the previous delta (occ == -1 for no
+// restriction), optionally over a partition [lo, hi) of the tuples of
+// the relation probed first (hi == 0 means the full relation). Tasks
+// are independent: they read the round's frozen snapshot and write
+// only their own buffers.
+type task struct {
+	ruleIdx int
+	occ     int
+	lo, hi  int
+}
+
+// headDerivation is one head fact emitted by a task, with its recorded
+// provenance step when tracking is on.
+type headDerivation struct {
+	fact ast.Atom
+	step *provStep
+}
+
+// taskResult is the private output buffer of one task.
+type taskResult struct {
+	heads   []headDerivation
+	probes  int64
+	firings int64
+	err     error
+}
+
+// minPartitionChunk is the smallest per-partition tuple range worth a
+// separate task; below it, goroutine and buffer overhead dominates.
+const minPartitionChunk = 8
+
+// appendPartitioned appends t split into up to ev.workers contiguous
+// range partitions of the depth-0 relation (relLen tuples). The split
+// never changes results or stats: partitions cover the same tuple
+// ranges a single task would scan, in the same merged order.
+func (ev *evaluator) appendPartitioned(ts []task, t task, relLen int) []task {
+	parts := ev.workers
+	if parts > relLen/minPartitionChunk {
+		parts = relLen / minPartitionChunk
+	}
+	if ev.workers <= 1 || parts <= 1 {
+		return append(ts, t)
+	}
+	chunk := (relLen + parts - 1) / parts
+	for lo := 0; lo < relLen; lo += chunk {
+		hi := lo + chunk
+		if hi > relLen {
+			hi = relLen
+		}
+		ts = append(ts, task{ruleIdx: t.ruleIdx, occ: t.occ, lo: lo, hi: hi})
+	}
+	return ts
+}
+
+// firstRelLen returns the tuple count of the relation the task probes
+// at depth 0 (the delta relation for occ >= 0, otherwise the rule's
+// first positive subgoal), or 0 when the task cannot be partitioned.
+func (ev *evaluator) firstRelLen(r ast.Rule, occ int, prevDelta *DB) int {
+	var pred string
+	switch {
+	case occ >= 0:
+		pred = r.Pos[occ].Pred
+		if rel := prevDelta.Lookup(pred); rel != nil {
+			return rel.Len()
+		}
+		return 0
+	case len(r.Pos) == 0:
+		return 0
+	default:
+		pred = r.Pos[0].Pred
+	}
+	var rel *Relation
+	if ev.idbPr[pred] {
+		rel = ev.idb.Lookup(pred)
+	} else {
+		rel = ev.edb.Lookup(pred)
+	}
+	if rel == nil {
+		return 0
+	}
+	return rel.Len()
+}
+
 // runNaive recomputes every rule over the full database until no new
-// tuples appear.
+// tuples appear. Rounds use the same snapshot-and-merge execution as
+// semi-naive: rules see the IDB as of the start of the round.
 func (ev *evaluator) runNaive() error {
 	for {
 		ev.stats.Iterations++
-		newFacts := 0
-		for _, r := range ev.prog.Rules {
-			n, err := ev.applyRule(r, -1)
-			if err != nil {
-				return err
-			}
-			newFacts += n
+		before := ev.stats.TuplesDerived
+		var tasks []task
+		for i, r := range ev.prog.Rules {
+			tasks = ev.appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil))
 		}
-		if newFacts == 0 {
+		if err := ev.runRound(tasks, nil); err != nil {
+			return err
+		}
+		if ev.stats.TuplesDerived == before {
 			return nil
 		}
 	}
 }
 
-// runSeminaive implements standard semi-naive evaluation: each round,
-// every rule is evaluated once per IDB subgoal occurrence, with that
-// occurrence restricted to the previous round's delta.
+// runSeminaive implements semi-naive evaluation with snapshot rounds:
+// each round, every rule is evaluated once per IDB subgoal occurrence,
+// with that occurrence restricted to the previous round's delta and all
+// other subgoals reading the IDB as of the round start. Derived facts
+// are buffered per task and merged at the round barrier, so evaluation
+// is deterministic and embarrassingly parallel within a round.
 func (ev *evaluator) runSeminaive() error {
-	// Round 0: initialization — all rules over the (empty) IDB; only
-	// rules whose IDB subgoals are trivially satisfied (i.e. none) can
+	// Round 0: initialization — only rules without IDB subgoals can
 	// fire.
 	ev.delta = NewDB()
 	for pred := range ev.idbPr {
 		ev.delta.Rel(pred, ev.arity[pred])
 	}
 	ev.stats.Iterations++
-	for _, r := range ev.prog.Rules {
+	var tasks []task
+	for i, r := range ev.prog.Rules {
 		if !r.IsInit(ev.idbPr) {
 			continue
 		}
-		if _, err := ev.applyRule(r, -1); err != nil {
-			return err
-		}
+		tasks = ev.appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil))
 	}
-	// ev.applyRule recorded new tuples into both idb and delta.
+	if err := ev.runRound(tasks, nil); err != nil {
+		return err
+	}
 	for {
 		if ev.delta.totalLen() == 0 {
 			return nil
@@ -139,74 +255,168 @@ func (ev *evaluator) runSeminaive() error {
 			ev.delta.Rel(pred, ev.arity[pred])
 		}
 		ev.stats.Iterations++
-		for _, r := range ev.prog.Rules {
-			idbOccs := ev.idbOccurrences(r)
-			if len(idbOccs) == 0 {
-				continue // init rules never fire again
+		tasks = tasks[:0]
+		for i, r := range ev.prog.Rules {
+			for _, occ := range ev.idbOccurrences(r) {
+				tasks = ev.appendPartitioned(tasks, task{ruleIdx: i, occ: occ}, ev.firstRelLen(r, occ, prevDelta))
 			}
-			for _, occ := range idbOccs {
-				if _, err := ev.applyRuleDelta(r, occ, prevDelta); err != nil {
-					return err
+		}
+		if err := ev.runRound(tasks, prevDelta); err != nil {
+			return err
+		}
+	}
+}
+
+// runRound executes the round's tasks — concurrently over a bounded
+// worker pool when Workers > 1 — and then merges each task's buffered
+// head facts into the IDB (and current delta) strictly in task order.
+// Tasks only read the frozen snapshot, so the merge order alone
+// determines tuple insertion order, making answers and Stats identical
+// for every worker count.
+func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
+	results := make([]taskResult, len(tasks))
+	workers := ev.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					results[i] = ev.runTask(tasks[i], prevDelta)
 				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, t := range tasks {
+			results[i] = ev.runTask(t, prevDelta)
+			if results[i].err != nil {
+				break
 			}
 		}
 	}
-}
 
-func (db *DB) totalLen() int {
-	n := 0
-	for _, r := range db.rels {
-		n += r.Len()
-	}
-	return n
-}
-
-// idbOccurrences returns the indices of positive subgoals with IDB
-// predicates.
-func (ev *evaluator) idbOccurrences(r ast.Rule) []int {
-	var out []int
-	for i, a := range r.Pos {
-		if ev.idbPr[a.Pred] {
-			out = append(out, i)
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return res.err
+		}
+		ev.stats.JoinProbes += res.probes
+		ev.stats.RuleFirings += res.firings
+		for _, h := range res.heads {
+			if !ev.idb.AddFact(h.fact) {
+				continue // another task derived it first this round
+			}
+			ev.stats.TuplesDerived++
+			if ev.delta != nil {
+				ev.delta.AddFact(h.fact)
+			}
+			if ev.prov != nil && h.step != nil {
+				ev.prov.steps[h.fact.Key()] = *h.step
+			}
 		}
 	}
-	return out
+	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
+		return fmt.Errorf("eval: derived-tuple budget of %d exceeded", ev.opts.MaxTuples)
+	}
+	return nil
 }
 
-// applyRule evaluates rule r over the full database. deltaOcc == -1
-// means no delta restriction. It returns the number of new tuples.
-func (ev *evaluator) applyRule(r ast.Rule, deltaOcc int) (int, error) {
-	return ev.applyRuleDelta(r, deltaOcc, nil)
+// runTask evaluates one task against the round snapshot, buffering
+// derived heads. The delta-restricted occurrence (if any) is probed
+// first: it is usually the smallest relation and it is the subgoal the
+// task's tuple partition applies to.
+func (ev *evaluator) runTask(t task, prevDelta *DB) taskResult {
+	r := ev.prog.Rules[t.ruleIdx]
+	tr := &taskRun{
+		ev:       ev,
+		delta:    prevDelta,
+		deltaOcc: t.occ,
+		lo:       t.lo,
+		hi:       t.hi,
+		order:    joinOrder(len(r.Pos), t.occ),
+		binding:  map[string]ast.Term{},
+		seen:     map[string]bool{},
+		base:     ev.stats.TuplesDerived,
+	}
+	if err := tr.joinFrom(r, 0); err != nil {
+		tr.res.err = err
+	}
+	return tr.res
 }
 
-// applyRuleDelta evaluates r with subgoal occurrence deltaOcc (if
-// >= 0) restricted to the delta database.
-func (ev *evaluator) applyRuleDelta(r ast.Rule, deltaOcc int, delta *DB) (int, error) {
-	binding := map[string]ast.Term{}
-	return ev.joinFrom(r, 0, deltaOcc, delta, binding)
+// joinOrder returns the subgoal visiting order for a task: the delta
+// occurrence first (when present), then the remaining subgoals in rule
+// order. The order depends only on the rule and occurrence, never on
+// worker count, so probe counts stay deterministic.
+func joinOrder(n, occ int) []int {
+	order := make([]int, 0, n)
+	if occ >= 0 {
+		order = append(order, occ)
+	}
+	for i := 0; i < n; i++ {
+		if i != occ {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// taskRun is the per-task evaluation state: a private binding, a
+// private output buffer, and private counters. It reads the round's
+// frozen snapshot through ev and never writes shared state.
+type taskRun struct {
+	ev       *evaluator
+	delta    *DB // previous round's delta (nil for init/naive tasks)
+	deltaOcc int
+	lo, hi   int   // depth-0 tuple partition; hi == 0 → full relation
+	order    []int // join depth → subgoal index
+	binding  map[string]ast.Term
+	seen     map[string]bool // heads already buffered by this task
+	res      taskResult
+	base     int64 // TuplesDerived at round start, for the budget check
 }
 
 // joinFrom recursively extends the binding over positive subgoals
-// starting at index i, applying comparison and negation filters as
+// starting at join depth i, applying comparison and negation filters as
 // soon as they become ground, and emits head facts at the end.
-func (ev *evaluator) joinFrom(r ast.Rule, i, deltaOcc int, delta *DB, binding map[string]ast.Term) (int, error) {
-	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
-		return 0, fmt.Errorf("eval: derived-tuple budget of %d exceeded", ev.opts.MaxTuples)
+func (tr *taskRun) joinFrom(r ast.Rule, depth int) error {
+	ev := tr.ev
+	if ev.opts.MaxTuples > 0 && tr.base+int64(len(tr.res.heads)) > ev.opts.MaxTuples {
+		return fmt.Errorf("eval: derived-tuple budget of %d exceeded", ev.opts.MaxTuples)
 	}
-	if i == len(r.Pos) {
-		return ev.finishRule(r, binding)
+	if depth == len(r.Pos) {
+		return tr.finishRule(r)
 	}
-	sub := r.Pos[i]
+	subIdx := tr.order[depth]
+	sub := r.Pos[subIdx]
 	var rel *Relation
-	if deltaOcc == i {
-		rel = delta.Lookup(sub.Pred)
-	} else if ev.idbPr[sub.Pred] {
+	switch {
+	case tr.deltaOcc == subIdx:
+		rel = tr.delta.Lookup(sub.Pred)
+	case ev.idbPr[sub.Pred]:
 		rel = ev.idb.Lookup(sub.Pred)
-	} else {
+	default:
 		rel = ev.edb.Lookup(sub.Pred)
 	}
 	if rel == nil || rel.Len() == 0 {
-		return 0, nil
+		return nil
+	}
+	lo, hi := 0, rel.Len()
+	if depth == 0 && tr.hi > 0 {
+		lo, hi = tr.lo, tr.hi
+		if hi > rel.Len() {
+			hi = rel.Len()
+		}
 	}
 
 	// Determine bound positions under the current binding.
@@ -218,7 +428,7 @@ func (ev *evaluator) joinFrom(r ast.Rule, i, deltaOcc int, delta *DB, binding ma
 			boundPos = append(boundPos, j)
 			boundVals = append(boundVals, t)
 		default:
-			if v, ok := binding[t.Name]; ok {
+			if v, ok := tr.binding[t.Name]; ok {
 				boundPos = append(boundPos, j)
 				boundVals = append(boundVals, v)
 			}
@@ -233,9 +443,8 @@ func (ev *evaluator) joinFrom(r ast.Rule, i, deltaOcc int, delta *DB, binding ma
 		candidates = rel.lookup(boundPos, boundVals)
 	}
 
-	total := 0
 	tryTuple := func(t Tuple) error {
-		ev.stats.JoinProbes++
+		tr.res.probes++
 		// Extend the binding; track which variables we bind so we can
 		// undo on backtrack.
 		var boundHere []string
@@ -248,53 +457,54 @@ func (ev *evaluator) joinFrom(r ast.Rule, i, deltaOcc int, delta *DB, binding ma
 				}
 				continue
 			}
-			if v, exists := binding[argT.Name]; exists {
+			if v, exists := tr.binding[argT.Name]; exists {
 				if !v.Equal(t[j]) {
 					ok = false
 					break
 				}
 				continue
 			}
-			binding[argT.Name] = t[j]
+			tr.binding[argT.Name] = t[j]
 			boundHere = append(boundHere, argT.Name)
 		}
-		if ok && ev.filtersHold(r, binding) {
-			n, err := ev.joinFrom(r, i+1, deltaOcc, delta, binding)
-			if err != nil {
+		if ok && tr.filtersHold(r) {
+			if err := tr.joinFrom(r, depth+1); err != nil {
 				return err
 			}
-			total += n
 		}
 		for _, v := range boundHere {
-			delete(binding, v)
+			delete(tr.binding, v)
 		}
 		return nil
 	}
 
 	if indexed {
 		for _, ci := range candidates {
+			if ci < lo || ci >= hi {
+				continue
+			}
 			if err := tryTuple(rel.tuples[ci]); err != nil {
-				return 0, err
+				return err
 			}
 		}
 	} else {
-		for _, t := range rel.tuples {
+		for _, t := range rel.tuples[lo:hi] {
 			if err := tryTuple(t); err != nil {
-				return 0, err
+				return err
 			}
 		}
 	}
-	return total, nil
+	return nil
 }
 
 // filtersHold applies every comparison and negated subgoal whose
 // variables are fully bound. Unbound filters are deferred (they will
 // be checked again deeper in the join; by safety they are ground by
 // the time all positive subgoals are matched).
-func (ev *evaluator) filtersHold(r ast.Rule, binding map[string]ast.Term) bool {
+func (tr *taskRun) filtersHold(r ast.Rule) bool {
 	for _, c := range r.Cmp {
-		l, lok := resolve(c.Left, binding)
-		rr, rok := resolve(c.Right, binding)
+		l, lok := resolve(c.Left, tr.binding)
+		rr, rok := resolve(c.Right, tr.binding)
 		if !lok || !rok {
 			continue
 		}
@@ -303,11 +513,11 @@ func (ev *evaluator) filtersHold(r ast.Rule, binding map[string]ast.Term) bool {
 		}
 	}
 	for _, n := range r.Neg {
-		g, ok := groundAtom(n, binding)
+		g, ok := groundAtom(n, tr.binding)
 		if !ok {
 			continue
 		}
-		if ev.edb.Contains(g) {
+		if tr.ev.edb.Contains(g) {
 			return false
 		}
 	}
@@ -334,44 +544,73 @@ func groundAtom(a ast.Atom, binding map[string]ast.Term) (ast.Atom, bool) {
 	return out, true
 }
 
-// finishRule emits the head fact for a complete binding.
-func (ev *evaluator) finishRule(r ast.Rule, binding map[string]ast.Term) (int, error) {
+// finishRule emits the head fact for a complete binding into the
+// task's private buffer. Heads already present in the snapshot IDB (or
+// already buffered by this task) are dropped; cross-task duplicates
+// within a round are resolved at the merge.
+func (tr *taskRun) finishRule(r ast.Rule) (err error) {
+	ev := tr.ev
 	// All filters are ground now; re-check (cheap, and covers filters
 	// that never became ground mid-join).
-	if !ev.filtersHold(r, binding) {
-		return 0, nil
+	if !tr.filtersHold(r) {
+		return nil
 	}
-	head, ok := groundAtom(r.Head, binding)
+	head, ok := groundAtom(r.Head, tr.binding)
 	if !ok {
-		return 0, fmt.Errorf("eval: unsafe rule slipped through validation: %s", r)
+		return fmt.Errorf("eval: unsafe rule slipped through validation: %s", r)
 	}
-	ev.stats.RuleFirings++
-	if ev.idb.AddFact(head) {
-		ev.stats.TuplesDerived++
-		if ev.delta != nil {
-			ev.delta.AddFact(head)
-		}
-		if ev.prov != nil {
-			inst := ast.Rule{Head: head}
-			for _, a := range r.Pos {
-				g, _ := groundAtom(a, binding)
-				inst.Pos = append(inst.Pos, g)
-			}
-			for _, a := range r.Neg {
-				g, _ := groundAtom(a, binding)
-				inst.Neg = append(inst.Neg, g)
-			}
-			ev.prov.steps[head.Key()] = provStep{rule: inst, body: inst.Pos}
-		}
-		return 1, nil
+	tr.res.firings++
+	k := head.Key()
+	if tr.seen[k] || ev.idb.Contains(head) {
+		return nil
 	}
-	return 0, nil
+	tr.seen[k] = true
+	h := headDerivation{fact: head}
+	if ev.prov != nil {
+		inst := ast.Rule{Head: head}
+		for _, a := range r.Pos {
+			g, _ := groundAtom(a, tr.binding)
+			inst.Pos = append(inst.Pos, g)
+		}
+		for _, a := range r.Neg {
+			g, _ := groundAtom(a, tr.binding)
+			inst.Neg = append(inst.Neg, g)
+		}
+		h.step = &provStep{rule: inst, body: inst.Pos}
+	}
+	tr.res.heads = append(tr.res.heads, h)
+	return nil
+}
+
+func (db *DB) totalLen() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// idbOccurrences returns the indices of positive subgoals with IDB
+// predicates.
+func (ev *evaluator) idbOccurrences(r ast.Rule) []int {
+	var out []int
+	for i, a := range r.Pos {
+		if ev.idbPr[a.Pred] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Query evaluates the program and returns the tuples of its query
 // predicate.
 func Query(p *ast.Program, edb *DB) ([]Tuple, *Stats, error) {
-	idb, stats, err := Eval(p, edb)
+	return QueryWith(p, edb, DefaultOptions())
+}
+
+// QueryWith is Query with explicit engine options.
+func QueryWith(p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
+	idb, stats, err := EvalWith(p, edb, opts)
 	if err != nil {
 		return nil, nil, err
 	}

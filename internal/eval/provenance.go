@@ -30,13 +30,25 @@ type Derivation struct {
 }
 
 // EvalProv evaluates like Eval but also returns provenance for the
-// derived facts.
+// derived facts. Provenance is compatible with parallel rounds: steps
+// are built inside each task's private buffer and recorded at the
+// single-threaded round barrier, in deterministic merge order, so the
+// recorded derivation of every fact is the same for any worker count.
 func EvalProv(p *ast.Program, edb *DB) (*DB, *Provenance, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
 	prov := &Provenance{steps: map[string]provStep{}}
-	ev := &evaluator{prog: p, edb: edb, idb: NewDB(), opts: DefaultOptions(), stats: &Stats{}, prov: prov}
+	opts := DefaultOptions()
+	ev := &evaluator{
+		prog:    p,
+		edb:     edb,
+		idb:     NewDB(),
+		opts:    opts,
+		workers: opts.effectiveWorkers(),
+		stats:   &Stats{},
+		prov:    prov,
+	}
 	if err := ev.run(); err != nil {
 		return nil, nil, nil, err
 	}

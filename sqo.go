@@ -141,11 +141,15 @@ func NewDBFrom(facts []Atom) *DB {
 	return db
 }
 
-// Eval evaluates the program bottom-up (semi-naive, hash-indexed) over
-// the extensional database, returning the IDB relations.
+// Eval evaluates the program bottom-up (semi-naive, hash-indexed,
+// parallel across one worker per CPU) over the extensional database,
+// returning the IDB relations. Results and Stats are deterministic
+// regardless of worker count.
 func Eval(p *Program, edb *DB) (*DB, *Stats, error) { return eval.Eval(p, edb) }
 
-// EvalOptions configures evaluation for Ablations.
+// EvalOptions configures the evaluation engine: naive vs semi-naive,
+// hash indexes, the derived-tuple budget, and the worker pool size
+// (Workers: 0 = one per CPU, 1 = sequential).
 type EvalOptions = eval.Options
 
 // EvalWith evaluates with explicit engine options.
@@ -155,6 +159,11 @@ func EvalWith(p *Program, edb *DB, opts EvalOptions) (*DB, *Stats, error) {
 
 // Query evaluates the program and returns the query predicate's tuples.
 func Query(p *Program, edb *DB) ([]eval.Tuple, *Stats, error) { return eval.Query(p, edb) }
+
+// QueryWith is Query with explicit engine options.
+func QueryWith(p *Program, edb *DB, opts EvalOptions) ([]eval.Tuple, *Stats, error) {
+	return eval.QueryWith(p, edb, opts)
+}
 
 // Satisfiable decides whether the program's query predicate has any
 // derivation on a database satisfying the constraints (Theorem 5.1's
