@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench ci
+.PHONY: build vet fmt test race bench fuzz-smoke serve serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,21 @@ race:
 # compile and run, not a measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# A short native-fuzzing pass over the parser. Long enough to exercise
+# the mutator, short enough for CI; sustained campaigns should raise
+# -fuzztime by hand.
+fuzz-smoke:
+	$(GO) test ./internal/parser -run='^$$' -fuzz=FuzzParse -fuzztime=10s
+
+# Run the query daemon locally with default settings.
+serve:
+	$(GO) run ./cmd/sqod
+
+# Boot sqod, register a dataset, run an optimized query twice (second
+# must hit the rewrite cache), scrape /metrics, then SIGTERM and assert
+# a clean drain. The same script backs the CI smoke job.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 ci: build vet fmt test

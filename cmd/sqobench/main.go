@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1] [-quick]
+//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2] [-quick]
 package main
 
 import (
@@ -26,7 +26,7 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqobench: ")
-	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1)")
+	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1, P2)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -47,6 +47,7 @@ func main() {
 		{"A2", "Ablation: [CGM88] per-rule baseline vs query tree", runA2},
 		{"A3", "Ablation: evaluation engine (semi-naive, indexes)", runA3},
 		{"P1", "Parallel semi-naive scaling (workers sweep)", runP1},
+		{"P2", "Rewrite-cache amortization (cold vs cache hit)", runP2},
 	}
 	for _, e := range experiments {
 		if *runSel != "" && !strings.EqualFold(*runSel, e.id) {

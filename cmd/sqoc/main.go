@@ -9,17 +9,35 @@
 //
 // Usage:
 //
-//	sqoc [-facts file] [-explain] [-baseline] [-stats] [-parallel n] [file]
+//	sqoc [-facts file] [-explain] [-baseline] [-stats] [-parallel n]
+//	     [-timeout d] [-budget n] [file]
+//
+// Exit status:
+//
+//	0  success
+//	1  usage, parse, or optimization errors
+//	3  the -budget derived-tuple budget was exhausted
+//	4  the -timeout deadline expired (or the run was interrupted)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"time"
 
 	sqo "repro"
+)
+
+// Distinct exit codes so scripts can tell resource exhaustion from
+// ordinary failure.
+const (
+	exitBudget  = 3
+	exitTimeout = 4
 )
 
 func main() {
@@ -31,7 +49,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print query-tree statistics")
 	why := flag.Bool("why", false, "print a derivation tree for each answer (requires facts)")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = one per CPU, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on optimization + evaluation (0 = none)")
+	budget := flag.Int64("budget", 0, "derived-tuple budget per evaluation (0 = unlimited)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
@@ -45,9 +72,9 @@ func main() {
 		log.Fatal("no query declaration ('?- pred.') in input")
 	}
 
-	res, err := sqo.Optimize(unit.Program, unit.ICs)
+	res, err := sqo.OptimizeCtx(ctx, unit.Program, unit.ICs, sqo.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err, *timeout, *budget)
 	}
 	for _, w := range res.Warnings {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
@@ -85,14 +112,14 @@ func main() {
 	}
 	if len(facts) > 0 {
 		db := sqo.NewDBFrom(facts)
-		opts := sqo.EvalOptions{Seminaive: true, UseIndex: true, Workers: *parallel}
-		origTuples, origStats, err := sqo.QueryWith(unit.Program, db, opts)
+		opts := sqo.EvalOptions{Seminaive: true, UseIndex: true, Workers: *parallel, MaxTuples: *budget}
+		origTuples, origStats, err := sqo.QueryCtx(ctx, unit.Program, db, opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err, *timeout, *budget)
 		}
-		optTuples, optStats, err := sqo.QueryWith(res.Program, db, opts)
+		optTuples, optStats, err := sqo.QueryCtx(ctx, res.Program, db, opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err, *timeout, *budget)
 		}
 		fmt.Printf("\n%% original : %d answers, %d tuples derived, %d join probes\n",
 			len(origTuples), origStats.TuplesDerived, origStats.JoinProbes)
@@ -115,6 +142,27 @@ func main() {
 				fmt.Printf("\n%% derivation of %s:\n%s", fact, d)
 			}
 		}
+	}
+}
+
+// fatal prints a clear diagnosis and exits with the status matching
+// the failure class: budget exhaustion and deadline expiry each get a
+// distinct code so callers can react without parsing messages.
+func fatal(err error, timeout time.Duration, budget int64) {
+	switch {
+	case errors.Is(err, sqo.ErrBudget):
+		log.Printf("derived-tuple budget of %d exhausted before the fixpoint completed: %v", budget, err)
+		log.Printf("raise -budget or tighten the program/constraints")
+		os.Exit(exitBudget)
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Printf("timed out after %v: %v", timeout, err)
+		log.Printf("raise -timeout, or reduce the workload")
+		os.Exit(exitTimeout)
+	case errors.Is(err, context.Canceled):
+		log.Printf("canceled: %v", err)
+		os.Exit(exitTimeout)
+	default:
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,115 @@
+// sqod — the semantic query optimization daemon.
+//
+// A long-running HTTP/JSON service around the Levy–Sagiv optimizer:
+// register fact datasets, submit programs with integrity constraints,
+// and run optimized queries. Rewrites are cached (LRU + singleflight)
+// so their cost amortizes across requests; evaluations are bounded by
+// admission control and per-request deadlines that genuinely cancel
+// the fixpoint; /metrics exposes live counters in Prometheus text
+// format.
+//
+// Usage:
+//
+//	sqod [-addr :8351] [-max-inflight n] [-cache-size n]
+//	     [-timeout 30s] [-max-timeout 5m] [-max-tuples n]
+//	     [-workers n] [-drain 30s] [-log text|json]
+//
+// Endpoints:
+//
+//	PUT  /v1/datasets/{name}   register facts (datalog source body)
+//	GET  /v1/datasets          list datasets
+//	POST /v1/optimize          {program, ics} → rewritten program
+//	POST /v1/query             {program, ics, dataset, timeout_ms, ...}
+//	GET  /metrics              Prometheus text metrics
+//	GET  /healthz              liveness
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, drains
+// in-flight requests (up to -drain), and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8351", "listen address")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent evaluations (0 = 2x CPUs)")
+	cacheSize := flag.Int("cache-size", 128, "optimized-program LRU cache entries")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+	maxTuples := flag.Int64("max-tuples", 0, "per-query derived-tuple budget (0 = unlimited)")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = one per CPU)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := server.New(server.Config{
+		MaxInflight:    *maxInflight,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxTuples:      *maxTuples,
+		Workers:        *workers,
+		Logger:         logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT begin a graceful drain: the listener closes, new
+	// connections are refused, and in-flight queries run to completion
+	// (their own deadlines still apply) before the process exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down: draining in-flight requests", "drain", drain.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Error("drain incomplete", "err", err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("listener error", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("drained cleanly; exiting")
+	fmt.Fprintln(os.Stderr, "sqod: clean shutdown")
+}

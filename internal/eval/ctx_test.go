@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// chainProgram builds a transitive-closure workload big enough that
+// evaluation takes visibly long (hundreds of rounds over a growing
+// IDB), so a mid-fixpoint cancellation has something to interrupt.
+func chainProgram(t testing.TB, n int) (*ast.Program, *DB) {
+	t.Helper()
+	p, err := parser.ParseProgram(`
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- e(X, Z), p(Z, Y).
+		?- p.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	for i := 0; i < n; i++ {
+		db.AddFact(ast.NewAtom("e", ast.N(float64(i)), ast.N(float64(i+1))))
+	}
+	return p, db
+}
+
+func TestEvalCtxNilAndBackground(t *testing.T) {
+	p, db := chainProgram(t, 20)
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		idb, stats, err := EvalCtx(ctx, p, db, DefaultOptions())
+		if err != nil {
+			t.Fatalf("EvalCtx(%v): %v", ctx, err)
+		}
+		want := 20 * 21 / 2
+		if got := idb.Count("p"); got != want {
+			t.Fatalf("answers = %d, want %d", got, want)
+		}
+		if stats.Iterations == 0 {
+			t.Fatal("no rounds recorded")
+		}
+	}
+}
+
+func TestEvalCtxAlreadyCancelled(t *testing.T) {
+	p, db := chainProgram(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := EvalCtx(ctx, p, db, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvalCtxCancelMidFixpoint cancels a long evaluation from another
+// goroutine and requires (a) a prompt return with context.Canceled,
+// and (b) no goroutine leak from the worker pool.
+func TestEvalCtxCancelMidFixpoint(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p, db := chainProgram(t, 600)
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := DefaultOptions()
+		opts.Workers = workers
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			_, _, err := EvalCtx(ctx, p, db, opts)
+			done <- err
+		}()
+		time.Sleep(30 * time.Millisecond) // let the fixpoint get going
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: evaluation did not stop within 10s of cancel (started %v ago)",
+				workers, time.Since(start))
+		}
+		// The pool's goroutines must all have exited. NumGoroutine is
+		// noisy; poll briefly before declaring a leak.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("workers=%d: goroutines leaked: before=%d after=%d",
+					workers, before, runtime.NumGoroutine())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestEvalCtxDeadline(t *testing.T) {
+	p, db := chainProgram(t, 600)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := EvalCtx(ctx, p, db, DefaultOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline overshoot: returned after %v", elapsed)
+	}
+}
+
+func TestErrBudgetSentinel(t *testing.T) {
+	p, db := chainProgram(t, 100)
+	opts := DefaultOptions()
+	opts.MaxTuples = 10
+	_, _, err := EvalWith(p, db, opts)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("budget error must not look like cancellation: %v", err)
+	}
+}
+
+// TestEvalCtxDeterminismUnaffected: threading a live (never cancelled)
+// context must not change answers or stats relative to EvalWith.
+func TestEvalCtxDeterminismUnaffected(t *testing.T) {
+	p, db := chainProgram(t, 60)
+	idb1, s1, err := EvalWith(p, db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	idb2, s2, err := EvalCtx(ctx, p, db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *s1 != *s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", *s1, *s2)
+	}
+	a1, a2 := idb1.SortedFacts("p"), idb2.SortedFacts("p")
+	if len(a1) != len(a2) {
+		t.Fatalf("answer counts diverged: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("answers diverged at %d: %s vs %s", i, a1[i], a2[i])
+		}
+	}
+}

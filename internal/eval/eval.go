@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +10,10 @@ import (
 
 	"repro/internal/ast"
 )
+
+// ErrBudget is wrapped by the error returned when evaluation exceeds
+// Options.MaxTuples; distinguish it from cancellation with errors.Is.
+var ErrBudget = errors.New("derived-tuple budget exceeded")
 
 // Stats reports instrumentation collected during evaluation. All
 // counters are deterministic: for a fixed program, database, and
@@ -70,10 +76,23 @@ func Eval(p *ast.Program, edb *DB) (*DB, *Stats, error) {
 
 // EvalWith evaluates with explicit options.
 func EvalWith(p *ast.Program, edb *DB, opts Options) (*DB, *Stats, error) {
+	return EvalCtx(context.Background(), p, edb, opts)
+}
+
+// EvalCtx is EvalWith under a context: cancellation (or deadline
+// expiry) stops the fixpoint promptly — it is checked at every round
+// barrier and periodically inside long join scans — and the context's
+// error is returned. Results and Stats remain deterministic for every
+// worker count whenever evaluation runs to completion.
+func EvalCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) (*DB, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ev := &evaluator{
+		ctx:     ctx,
 		prog:    p,
 		edb:     edb,
 		idb:     NewDB(),
@@ -88,6 +107,7 @@ func EvalWith(p *ast.Program, edb *DB, opts Options) (*DB, *Stats, error) {
 }
 
 type evaluator struct {
+	ctx     context.Context
 	prog    *ast.Program
 	edb     *DB
 	idb     *DB
@@ -149,6 +169,10 @@ type taskResult struct {
 // separate task; below it, goroutine and buffer overhead dominates.
 const minPartitionChunk = 8
 
+// cancelPollMask throttles the in-scan context poll to one ctx.Err()
+// call per (mask+1) join probes.
+const cancelPollMask = 0x3ff
+
 // appendPartitioned appends t split into up to ev.workers contiguous
 // range partitions of the depth-0 relation (relLen tuples). The split
 // never changes results or stats: partitions cover the same tuple
@@ -206,6 +230,9 @@ func (ev *evaluator) firstRelLen(r ast.Rule, occ int, prevDelta *DB) int {
 // semi-naive: rules see the IDB as of the start of the round.
 func (ev *evaluator) runNaive() error {
 	for {
+		if err := ev.ctx.Err(); err != nil {
+			return err
+		}
 		ev.stats.Iterations++
 		before := ev.stats.TuplesDerived
 		var tasks []task
@@ -234,6 +261,9 @@ func (ev *evaluator) runSeminaive() error {
 	for pred := range ev.idbPr {
 		ev.delta.Rel(pred, ev.arity[pred])
 	}
+	if err := ev.ctx.Err(); err != nil {
+		return err
+	}
 	ev.stats.Iterations++
 	var tasks []task
 	for i, r := range ev.prog.Rules {
@@ -248,6 +278,9 @@ func (ev *evaluator) runSeminaive() error {
 	for {
 		if ev.delta.totalLen() == 0 {
 			return nil
+		}
+		if err := ev.ctx.Err(); err != nil {
+			return err
 		}
 		prevDelta := ev.delta
 		ev.delta = NewDB()
@@ -326,7 +359,7 @@ func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
 		}
 	}
 	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
-		return fmt.Errorf("eval: derived-tuple budget of %d exceeded", ev.opts.MaxTuples)
+		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}
 	return nil
 }
@@ -392,7 +425,7 @@ type taskRun struct {
 func (tr *taskRun) joinFrom(r ast.Rule, depth int) error {
 	ev := tr.ev
 	if ev.opts.MaxTuples > 0 && tr.base+int64(len(tr.res.heads)) > ev.opts.MaxTuples {
-		return fmt.Errorf("eval: derived-tuple budget of %d exceeded", ev.opts.MaxTuples)
+		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}
 	if depth == len(r.Pos) {
 		return tr.finishRule(r)
@@ -445,6 +478,15 @@ func (tr *taskRun) joinFrom(r ast.Rule, depth int) error {
 
 	tryTuple := func(t Tuple) error {
 		tr.res.probes++
+		// Poll for cancellation inside long scans so a cancelled query
+		// stops mid-round instead of finishing the whole round's joins.
+		// The mask keeps the ctx.Err poll off the hot path; probes is
+		// deterministic, so completed runs are unaffected.
+		if tr.res.probes&cancelPollMask == 0 {
+			if err := ev.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Extend the binding; track which variables we bind so we can
 		// undo on backtrack.
 		var boundHere []string
@@ -610,7 +652,13 @@ func Query(p *ast.Program, edb *DB) ([]Tuple, *Stats, error) {
 
 // QueryWith is Query with explicit engine options.
 func QueryWith(p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
-	idb, stats, err := EvalWith(p, edb, opts)
+	return QueryCtx(context.Background(), p, edb, opts)
+}
+
+// QueryCtx is QueryWith under a context; see EvalCtx for the
+// cancellation contract.
+func QueryCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
+	idb, stats, err := EvalCtx(ctx, p, edb, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,6 +42,7 @@ func EvalProv(p *ast.Program, edb *DB) (*DB, *Provenance, *Stats, error) {
 	prov := &Provenance{steps: map[string]provStep{}}
 	opts := DefaultOptions()
 	ev := &evaluator{
+		ctx:     context.Background(),
 		prog:    p,
 		edb:     edb,
 		idb:     NewDB(),

@@ -21,8 +21,8 @@ package parser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
-	"unicode"
 )
 
 // tokKind enumerates token kinds.
@@ -224,36 +224,38 @@ scan:
 	}
 }
 
+// scanString scans a double-quoted string constant. The raw token
+// (quotes included) is decoded with strconv.Unquote, so the accepted
+// escape set is Go's — a superset of the \n, \t, \\, \" escapes this
+// lexer historically supported, and exactly what the pretty-printer's
+// %q form emits (including \xNN and \uNNNN for non-printable runes).
 func (lx *lexer) scanString(line, col int) (token, error) {
+	start := lx.pos
 	lx.advance() // opening quote
-	var sb strings.Builder
 	for {
 		if lx.pos >= len(lx.src) {
 			return token{}, lx.errf(line, col, "unterminated string")
 		}
 		b := lx.advance()
-		switch b {
-		case '"':
-			return token{tokStr, sb.String(), line, col}, nil
-		case '\\':
+		if b == '\\' {
 			if lx.pos >= len(lx.src) {
 				return token{}, lx.errf(line, col, "unterminated string escape")
 			}
-			e := lx.advance()
-			switch e {
-			case 'n':
-				sb.WriteByte('\n')
-			case 't':
-				sb.WriteByte('\t')
-			case '\\', '"':
-				sb.WriteByte(e)
-			default:
-				return token{}, lx.errf(line, col, "unknown escape \\%c", e)
-			}
-		default:
-			sb.WriteByte(b)
+			lx.advance()
+			continue
+		}
+		if b == '"' {
+			break
+		}
+		if b == '\n' {
+			return token{}, lx.errf(line, col, "newline in string")
 		}
 	}
+	s, err := strconv.Unquote(lx.src[start:lx.pos])
+	if err != nil {
+		return token{}, lx.errf(line, col, "invalid string literal %s", lx.src[start:lx.pos])
+	}
+	return token{tokStr, s, line, col}, nil
 }
 
 func (lx *lexer) scanNumber(line, col int) (token, error) {
@@ -278,6 +280,25 @@ func (lx *lexer) scanNumber(line, col int) (token, error) {
 		}
 		break
 	}
+	// Exponent notation ('e'/'E', optional sign, digits) — the form
+	// the pretty-printer emits for large magnitudes — is part of the
+	// number only when a digit actually follows, so "10elems" still
+	// lexes as a number and then an identifier.
+	if lx.pos < len(lx.src) && (lx.peekByte() == 'e' || lx.peekByte() == 'E') {
+		j := lx.pos + 1
+		if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+			j++
+		}
+		if j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
+			sb.WriteByte(lx.advance()) // e | E
+			if b := lx.peekByte(); b == '+' || b == '-' {
+				sb.WriteByte(lx.advance())
+			}
+			for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+				sb.WriteByte(lx.advance())
+			}
+		}
+	}
 	return token{tokNum, sb.String(), line, col}, nil
 }
 
@@ -288,16 +309,21 @@ func (lx *lexer) scanIdent(line, col int) (token, error) {
 		sb.WriteByte(lx.advance())
 	}
 	kind := tokIdent
-	if unicode.IsUpper(first) || first == '_' {
+	if first >= 'A' && first <= 'Z' || first == '_' {
 		kind = tokVar
 	}
 	return token{kind, sb.String(), line, col}, nil
 }
 
+// Identifiers are ASCII-only: the lexer scans byte-at-a-time, so
+// admitting unicode.IsLetter bytes would silently split multi-byte
+// UTF-8 letters into Latin-1 mojibake (and produce constants that
+// cannot be printed back as identifiers). Non-ASCII constants belong
+// in quoted strings.
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
 }
 
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return isIdentStart(r) || r >= '0' && r <= '9'
 }

@@ -1,6 +1,7 @@
 package qtree
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adorn"
@@ -60,6 +61,17 @@ func Optimize(p *ast.Program, ics []ast.IC) (*Outcome, error) {
 
 // OptimizeWith is Optimize with explicit pass selection.
 func OptimizeWith(p *ast.Program, ics []ast.IC, opts Options) (*Outcome, error) {
+	return OptimizeCtx(context.Background(), p, ics, opts)
+}
+
+// OptimizeCtx is OptimizeWith under a context. The rewrite pipeline is
+// pass-structured rather than tuple-at-a-time, so cancellation is
+// checked at every pass boundary: a cancelled optimization returns the
+// context's error before starting its next pass.
+func OptimizeCtx(ctx context.Context, p *ast.Program, ics []ast.IC, opts Options) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("qtree: invalid program: %w", err)
 	}
@@ -77,12 +89,18 @@ func OptimizeWith(p *ast.Program, ics []ast.IC, opts Options) (*Outcome, error) 
 	}
 	out.Pipeline.Normalized = cur
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.LocalRewrite {
 		plans := rewrite.PlanICs(ics)
 		cur = rewrite.RewriteLocalPlanned(cur, plans)
 	}
 	out.Pipeline.Local = cur
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.PushOrder {
 		pushed, err := rewrite.PushOrder(cur)
 		if err != nil {
@@ -97,18 +115,27 @@ func OptimizeWith(p *ast.Program, ics []ast.IC, opts Options) (*Outcome, error) 
 	// precision requirement of the algorithm, not an optional pass.
 	cur = rewrite.PropagateHeadEqualities(cur)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp, err := adorn.Specialize(cur)
 	if err != nil {
 		return nil, err
 	}
 	out.Pipeline.Spec = sp
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := adorn.BottomUp(sp, ics)
 	if err != nil {
 		return nil, err
 	}
 	out.Warnings = res.Warnings
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tree := Build(res)
 	tree.Prune()
 	out.Tree = tree

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	sqo "repro"
+)
+
+// CacheKey returns the canonical cache key for an optimization
+// request: a SHA-256 over the parsed program (rendered in canonical
+// source syntax, query declaration included), every integrity
+// constraint, and the optimizer pass selection. Requests that differ
+// only in whitespace, comments, or atom spelling of the *source text*
+// therefore share a key, while any semantic difference — one rule, one
+// constraint, one pass toggle — produces a distinct one.
+func CacheKey(p *sqo.Program, ics []sqo.IC, opts sqo.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "program\x00%s\x00query\x00%s\x00", p.String(), p.Query)
+	fmt.Fprintf(h, "ics\x00%d\x00", len(ics))
+	for _, ic := range ics {
+		fmt.Fprintf(h, "%s\x00", ic.String())
+	}
+	fmt.Fprintf(h, "opts\x00%t%t%t", opts.NormalizeOrder, opts.LocalRewrite, opts.PushOrder)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      int64 // lookups served from a stored entry
+	Misses    int64 // lookups that ran a fresh rewrite
+	Coalesced int64 // lookups that joined an in-flight identical rewrite
+	Evictions int64 // entries dropped by LRU pressure
+	Size      int   // entries currently stored
+}
+
+// Cache is a bounded LRU cache of optimization outcomes keyed by
+// CacheKey, with singleflight deduplication: when several requests ask
+// for the same (program, ics, options) concurrently, exactly one
+// rewrite runs and the rest wait for its result. Outcomes are stored
+// by pointer and must be treated as immutable by callers.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+	flights map[string]*flight
+	stats   CacheStats
+
+	// metrics, when non-nil, mirrors the stats counters into the
+	// server's registry as they change.
+	metrics *Metrics
+}
+
+type cacheEntry struct {
+	key string
+	res *sqo.Result
+}
+
+// flight is one in-progress rewrite that concurrent identical
+// requests wait on.
+type flight struct {
+	done chan struct{}
+	res  *sqo.Result
+	err  error
+}
+
+// NewCache returns a cache bounded to max entries (max < 1 is treated
+// as 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = len(c.entries)
+	return s
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get looks the key up and promotes it to most-recently-used. It does
+// not touch the hit/miss counters; GetOrCompute owns those.
+func (c *Cache) get(key string) (*sqo.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add stores the key, evicting from the LRU tail if over capacity.
+func (c *Cache) add(key string, res *sqo.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.max {
+		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+		if c.metrics != nil {
+			c.metrics.CacheEvictions.Add(1)
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.CacheSize.Store(int64(len(c.entries)))
+	}
+}
+
+// GetOrCompute returns the cached outcome for key, computing it with
+// compute on a miss. Concurrent calls with the same key during a miss
+// coalesce onto a single compute call (singleflight); the extra
+// callers report hit=true, since they did not pay for a rewrite.
+// Errors are never cached — every waiter receives the error and a
+// later call retries. A waiter whose ctx ends returns early with the
+// ctx error while the computation continues for the others.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*sqo.Result, error)) (res *sqo.Result, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		if c.metrics != nil {
+			c.metrics.CacheHits.Add(1)
+		}
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		// Someone is already rewriting this exact request: wait.
+		c.stats.Coalesced++
+		c.stats.Hits++
+		if c.metrics != nil {
+			c.metrics.CacheCoalesced.Add(1)
+			c.metrics.CacheHits.Add(1)
+		}
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, true, f.err
+			}
+			return f.res, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	// Miss: this caller leads the flight.
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	if c.metrics != nil {
+		c.metrics.CacheMisses.Add(1)
+	}
+	c.mu.Unlock()
+
+	f.res, f.err = compute()
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	c.add(key, f.res)
+	return f.res, false, nil
+}

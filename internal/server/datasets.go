@@ -1,0 +1,76 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	sqo "repro"
+)
+
+// dataset is one registered fact set. The database is immutable after
+// registration: queries that add inline facts clone it first, so any
+// number of evaluations may read it concurrently.
+type dataset struct {
+	name  string
+	db    *sqo.DB
+	facts int
+}
+
+// DatasetInfo describes one registered dataset over the wire.
+type DatasetInfo struct {
+	Name       string         `json:"name"`
+	Facts      int            `json:"facts"`
+	Predicates map[string]int `json:"predicates"`
+}
+
+func (d *dataset) describe() DatasetInfo {
+	preds := map[string]int{}
+	for _, p := range d.db.Preds() {
+		preds[p] = d.db.Count(p)
+	}
+	return DatasetInfo{Name: d.name, Facts: d.facts, Predicates: preds}
+}
+
+// datasetStore is the concurrent registry of named datasets.
+type datasetStore struct {
+	mu      sync.RWMutex
+	byName  map[string]*dataset
+	metrics *Metrics
+}
+
+func newDatasetStore(m *Metrics) *datasetStore {
+	return &datasetStore{byName: map[string]*dataset{}, metrics: m}
+}
+
+// put registers (or replaces) a dataset built from the given facts.
+func (st *datasetStore) put(name string, facts []sqo.Atom) *dataset {
+	ds := &dataset{name: name, db: sqo.NewDBFrom(facts), facts: len(facts)}
+	st.mu.Lock()
+	st.byName[name] = ds
+	n := len(st.byName)
+	st.mu.Unlock()
+	if st.metrics != nil {
+		st.metrics.Datasets.Store(int64(n))
+	}
+	return ds
+}
+
+// get returns the dataset named name.
+func (st *datasetStore) get(name string) (*dataset, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ds, ok := st.byName[name]
+	return ds, ok
+}
+
+// list describes all datasets, sorted by name.
+func (st *datasetStore) list() []DatasetInfo {
+	st.mu.RLock()
+	out := make([]DatasetInfo, 0, len(st.byName))
+	for _, ds := range st.byName {
+		out = append(out, ds.describe())
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

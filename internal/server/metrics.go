@@ -1,0 +1,185 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's instrumentation registry: monotonic
+// counters, point-in-time gauges, and per-endpoint latency histograms,
+// exposed in the Prometheus text format at /metrics. Everything is
+// hand-rolled on sync/atomic — the repository takes no dependencies.
+type Metrics struct {
+	// Cache effectiveness.
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+	CacheCoalesced atomic.Int64 // requests that joined an in-flight rewrite
+	CacheSize      atomic.Int64
+
+	// Admission control.
+	InflightEvals       atomic.Int64 // gauge: evaluations running right now
+	AdmissionRejections atomic.Int64 // fast-429s
+
+	// Engine work, summed over completed evaluations.
+	EvalRounds    atomic.Int64
+	TuplesDerived atomic.Int64
+	RuleFirings   atomic.Int64
+	JoinProbes    atomic.Int64
+
+	// Request outcomes.
+	QueryTimeouts atomic.Int64
+	QueryCancels  atomic.Int64
+	QueryBudgets  atomic.Int64
+
+	Datasets atomic.Int64 // gauge: registered datasets
+
+	mu        sync.Mutex
+	requests  map[statusKey]*int64  // endpoint×code → count
+	latencies map[string]*histogram // endpoint → latency histogram
+	started   time.Time
+}
+
+type statusKey struct {
+	endpoint string
+	code     int
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	counts [nBuckets + 1]atomic.Int64 // one per bucket plus +Inf
+	sumNs  atomic.Int64
+	total  atomic.Int64
+}
+
+const nBuckets = 12 // len(latencyBuckets); array length must be constant
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.total.Add(1)
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:  map[statusKey]*int64{},
+		latencies: map[string]*histogram{},
+		started:   time.Now(),
+	}
+}
+
+// ObserveRequest records one finished HTTP request.
+func (m *Metrics) ObserveRequest(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	c, ok := m.requests[statusKey{endpoint, code}]
+	if !ok {
+		c = new(int64)
+		m.requests[statusKey{endpoint, code}] = c
+	}
+	h, ok := m.latencies[endpoint]
+	if !ok {
+		h = &histogram{}
+		m.latencies[endpoint] = h
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+	h.observe(d)
+}
+
+// AddStats folds one evaluation's engine counters into the registry.
+func (m *Metrics) AddStats(rounds int, derived, firings, probes int64) {
+	m.EvalRounds.Add(int64(rounds))
+	m.TuplesDerived.Add(derived)
+	m.RuleFirings.Add(firings)
+	m.JoinProbes.Add(probes)
+}
+
+// ServeHTTP renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("sqod_cache_hits_total", "Optimized-program cache hits.", m.CacheHits.Load())
+	counter("sqod_cache_misses_total", "Optimized-program cache misses (fresh rewrites).", m.CacheMisses.Load())
+	counter("sqod_cache_evictions_total", "LRU evictions from the optimized-program cache.", m.CacheEvictions.Load())
+	counter("sqod_cache_coalesced_total", "Requests coalesced onto an in-flight identical rewrite.", m.CacheCoalesced.Load())
+	gauge("sqod_cache_entries", "Optimized programs currently cached.", m.CacheSize.Load())
+
+	gauge("sqod_inflight_evals", "Evaluations currently running (admission queue depth).", m.InflightEvals.Load())
+	counter("sqod_admission_rejections_total", "Requests rejected with 429 by admission control.", m.AdmissionRejections.Load())
+
+	counter("sqod_eval_rounds_total", "Fixpoint rounds executed across all evaluations.", m.EvalRounds.Load())
+	counter("sqod_tuples_derived_total", "Distinct IDB tuples derived across all evaluations.", m.TuplesDerived.Load())
+	counter("sqod_rule_firings_total", "Rule firings across all evaluations.", m.RuleFirings.Load())
+	counter("sqod_join_probes_total", "Join probes across all evaluations.", m.JoinProbes.Load())
+
+	counter("sqod_query_timeouts_total", "Queries stopped by deadline expiry.", m.QueryTimeouts.Load())
+	counter("sqod_query_cancels_total", "Queries stopped by client cancellation.", m.QueryCancels.Load())
+	counter("sqod_query_budget_exceeded_total", "Queries stopped by the derived-tuple budget.", m.QueryBudgets.Load())
+
+	gauge("sqod_datasets", "Registered fact datasets.", m.Datasets.Load())
+	fmt.Fprintf(&b, "# HELP sqod_uptime_seconds Seconds since the server started.\n# TYPE sqod_uptime_seconds gauge\nsqod_uptime_seconds %.3f\n",
+		time.Since(m.started).Seconds())
+
+	m.mu.Lock()
+	reqKeys := make([]statusKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latencies))
+	for k := range m.latencies {
+		latKeys = append(latKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	sort.Strings(latKeys)
+
+	b.WriteString("# HELP sqod_requests_total HTTP requests served.\n# TYPE sqod_requests_total counter\n")
+	for _, k := range reqKeys {
+		m.mu.Lock()
+		v := atomic.LoadInt64(m.requests[k])
+		m.mu.Unlock()
+		fmt.Fprintf(&b, "sqod_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, v)
+	}
+
+	b.WriteString("# HELP sqod_request_seconds HTTP request latency.\n# TYPE sqod_request_seconds histogram\n")
+	for _, k := range latKeys {
+		m.mu.Lock()
+		h := m.latencies[k]
+		m.mu.Unlock()
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "sqod_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", k, ub, cum)
+		}
+		cum += h.counts[nBuckets].Load()
+		fmt.Fprintf(&b, "sqod_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", k, cum)
+		fmt.Fprintf(&b, "sqod_request_seconds_sum{endpoint=%q} %.6f\n", k, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(&b, "sqod_request_seconds_count{endpoint=%q} %d\n", k, h.total.Load())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,517 @@
+// Package server implements sqod, the long-running semantic query
+// optimization service: HTTP/JSON endpoints to register fact datasets,
+// submit programs with integrity constraints, and run optimized
+// queries. The Levy–Sagiv rewrite is an ahead-of-time transformation
+// whose cost amortizes over every query served against it, so the
+// server keeps an LRU cache of optimized programs (keyed by a
+// canonical hash of program + constraints + options, with singleflight
+// deduplication), bounds concurrent evaluations with fast 429s,
+// cancels the fixpoint when a request times out or its client
+// disconnects, and exposes live counters at /metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	sqo "repro"
+)
+
+// Config tunes the server; the zero value is usable (see defaults in
+// New).
+type Config struct {
+	// MaxInflight bounds concurrently running evaluations; requests
+	// beyond the bound are rejected immediately with 429 rather than
+	// queued behind work that may never finish in time. Default:
+	// 2×GOMAXPROCS.
+	MaxInflight int
+	// CacheSize bounds the optimized-program LRU cache. Default: 128.
+	CacheSize int
+	// DefaultTimeout applies to queries that set no timeout_ms.
+	// Default: 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. Default: 5m.
+	MaxTimeout time.Duration
+	// MaxTuples is the per-query derived-tuple budget (0 = unlimited).
+	MaxTuples int64
+	// Workers is the evaluation worker-pool size (0 = one per CPU).
+	Workers int
+	// MaxBodyBytes bounds request bodies. Default: 8 MiB.
+	MaxBodyBytes int64
+	// Logger receives structured request logs; default slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the sqod service. Create with New, expose via Handler.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	metrics *Metrics
+	cache   *Cache
+	sem     chan struct{} // admission-control semaphore
+
+	datasets *datasetStore
+}
+
+// New returns a configured server.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	m := NewMetrics()
+	c := NewCache(cfg.CacheSize)
+	c.metrics = m
+	return &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		metrics:  m,
+		cache:    c,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		datasets: newDatasetStore(m),
+	}
+}
+
+// Metrics exposes the server's registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the optimized-program cache (for tests and embedding).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the server's routed HTTP handler with request
+// logging and latency instrumentation applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.instrument("metrics", s.metrics.ServeHTTP))
+	mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	mux.Handle("PUT /v1/datasets/{name}", s.instrument("dataset_put", s.handleDatasetPut))
+	mux.Handle("POST /v1/datasets/{name}", s.instrument("dataset_put", s.handleDatasetPut))
+	mux.Handle("GET /v1/datasets", s.instrument("dataset_list", s.handleDatasetList))
+	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
+	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
+	return mux
+}
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with body limiting, latency observation,
+// and one structured log line per request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.ObserveRequest(endpoint, sw.code, elapsed)
+		s.log.Info("request",
+			"endpoint", endpoint,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"dur_ms", float64(elapsed.Microseconds())/1000,
+			"bytes", sw.bytes,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// admit reserves an evaluation slot, or reports failure immediately
+// (fast 429) when MaxInflight slots are taken. The caller must invoke
+// the returned release exactly once on success.
+func (s *Server) admit() (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.InflightEvals.Add(1)
+		return func() {
+			s.metrics.InflightEvals.Add(-1)
+			<-s.sem
+		}, true
+	default:
+		s.metrics.AdmissionRejections.Add(1)
+		return nil, false
+	}
+}
+
+// --- datasets ---------------------------------------------------------
+
+// handleDatasetPut registers (or replaces) a named dataset. The body
+// is datalog ground facts in source syntax.
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "dataset name missing")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		return
+	}
+	facts, err := sqo.ParseFacts(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse_error", "parsing facts: %v", err)
+		return
+	}
+	ds := s.datasets.put(name, facts)
+	writeJSON(w, http.StatusOK, ds.describe())
+}
+
+// handleDatasetList lists registered datasets.
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.datasets.list())
+}
+
+// --- optimize ---------------------------------------------------------
+
+type optimizeRequest struct {
+	// Program is datalog source: rules plus a '?- pred.' declaration.
+	Program string `json:"program"`
+	// ICs are integrity constraints in source syntax (':- body.').
+	ICs string `json:"ics,omitempty"`
+}
+
+type optimizeResponse struct {
+	Program     string   `json:"program"`
+	Satisfiable bool     `json:"satisfiable"`
+	Explain     string   `json:"explain,omitempty"`
+	Warnings    []string `json:"warnings,omitempty"`
+	CacheHit    bool     `json:"cache_hit"`
+	OptimizeMS  float64  `json:"optimize_ms"`
+}
+
+// optimizeCached parses, hashes, and rewrites through the cache.
+func (s *Server) optimizeCached(ctx context.Context, programSrc, icsSrc string) (*sqo.Result, bool, error) {
+	prog, err := sqo.ParseProgram(programSrc)
+	if err != nil {
+		return nil, false, &requestError{status: http.StatusBadRequest, code: "parse_error", msg: fmt.Sprintf("parsing program: %v", err)}
+	}
+	if prog.Query == "" {
+		return nil, false, &requestError{status: http.StatusBadRequest, code: "bad_request", msg: "program has no query declaration ('?- pred.')"}
+	}
+	ics, err := sqo.ParseICs(icsSrc)
+	if err != nil {
+		return nil, false, &requestError{status: http.StatusBadRequest, code: "parse_error", msg: fmt.Sprintf("parsing ics: %v", err)}
+	}
+	opts := sqo.DefaultOptions()
+	key := CacheKey(prog, ics, opts)
+	res, hit, err := s.cache.GetOrCompute(ctx, key, func() (*sqo.Result, error) {
+		return sqo.OptimizeCtx(ctx, prog, ics, opts)
+	})
+	if err != nil {
+		if ctxErr := classifyCtxErr(err); ctxErr != nil {
+			return nil, hit, ctxErr
+		}
+		return nil, hit, &requestError{status: http.StatusUnprocessableEntity, code: "optimize_error", msg: err.Error()}
+	}
+	return res, hit, nil
+}
+
+// requestError carries an HTTP status through the handler helpers.
+type requestError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func classifyCtxErr(err error) *requestError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &requestError{status: http.StatusGatewayTimeout, code: "timeout", msg: "deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return &requestError{status: 499, code: "canceled", msg: "request canceled"}
+	}
+	return nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding JSON: %v", err)
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded", "too many in-flight requests (limit %d)", s.cfg.MaxInflight)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	res, hit, err := s.optimizeCached(r.Context(), req.Program, req.ICs)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, optimizeResponse{
+		Program:     sqo.FormatProgram(res.Program),
+		Satisfiable: res.Satisfiable,
+		Explain:     sqo.Explain(res),
+		Warnings:    res.Warnings,
+		CacheHit:    hit,
+		OptimizeMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	var re *requestError
+	if errors.As(err, &re) {
+		switch re.code {
+		case "timeout":
+			s.metrics.QueryTimeouts.Add(1)
+		case "canceled":
+			s.metrics.QueryCancels.Add(1)
+		}
+		writeError(w, re.status, re.code, "%s", re.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+}
+
+// --- query ------------------------------------------------------------
+
+type queryRequest struct {
+	// Program is datalog source: rules plus a '?- pred.' declaration.
+	Program string `json:"program"`
+	// ICs are integrity constraints in source syntax.
+	ICs string `json:"ics,omitempty"`
+	// Dataset names a registered dataset to evaluate against.
+	Dataset string `json:"dataset,omitempty"`
+	// Facts are additional inline ground facts (source syntax); they
+	// are combined with the dataset when both are present.
+	Facts string `json:"facts,omitempty"`
+	// TimeoutMS bounds evaluation wall-clock (0 → server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Optimize selects whether to run the Levy–Sagiv rewrite before
+	// evaluating (default true; false evaluates the program as sent,
+	// for A/B measurements).
+	Optimize *bool `json:"optimize,omitempty"`
+	// Workers overrides the evaluation pool size (0 → server default).
+	Workers int `json:"workers,omitempty"`
+	// MaxTuples overrides the derived-tuple budget (0 → server
+	// default).
+	MaxTuples int64 `json:"max_tuples,omitempty"`
+}
+
+type queryStats struct {
+	Rounds        int   `json:"rounds"`
+	TuplesDerived int64 `json:"tuples_derived"`
+	RuleFirings   int64 `json:"rule_firings"`
+	JoinProbes    int64 `json:"join_probes"`
+}
+
+type queryResponse struct {
+	Query       string     `json:"query"`
+	Answers     []string   `json:"answers"`
+	AnswerCount int        `json:"answer_count"`
+	Satisfiable bool       `json:"satisfiable"`
+	Optimized   bool       `json:"optimized"`
+	CacheHit    bool       `json:"cache_hit"`
+	Stats       queryStats `json:"stats"`
+	OptimizeMS  float64    `json:"optimize_ms"`
+	EvalMS      float64    `json:"eval_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding JSON: %v", err)
+		return
+	}
+	if req.Dataset == "" && req.Facts == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "one of dataset or facts is required")
+		return
+	}
+
+	// Resolve the database before admission: cheap, and 404s should
+	// not consume evaluation slots.
+	var db *sqo.DB
+	if req.Dataset != "" {
+		ds, ok := s.datasets.get(req.Dataset)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_dataset", "dataset %q is not registered", req.Dataset)
+			return
+		}
+		db = ds.db
+	}
+	if req.Facts != "" {
+		facts, err := sqo.ParseFacts(req.Facts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse_error", "parsing facts: %v", err)
+			return
+		}
+		if db == nil {
+			db = sqo.NewDBFrom(facts)
+		} else {
+			// Copy-on-extend: registered datasets are shared across
+			// requests and must not observe per-request facts.
+			db = db.Clone()
+			db.AddFacts(facts)
+		}
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded", "too many in-flight requests (limit %d)", s.cfg.MaxInflight)
+		return
+	}
+	defer release()
+
+	// The request context is the root: client disconnects propagate
+	// into the fixpoint. The timeout rides on top of it.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	doOptimize := req.Optimize == nil || *req.Optimize
+	var (
+		prog        *sqo.Program
+		cacheHit    bool
+		satisfiable = true
+		optimizeMS  float64
+	)
+	if doOptimize {
+		optStart := time.Now()
+		res, hit, err := s.optimizeCached(ctx, req.Program, req.ICs)
+		if err != nil {
+			s.writeRequestError(w, err)
+			return
+		}
+		optimizeMS = float64(time.Since(optStart).Microseconds()) / 1000
+		prog, cacheHit, satisfiable = res.Program, hit, res.Satisfiable
+	} else {
+		p, err := sqo.ParseProgram(req.Program)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse_error", "parsing program: %v", err)
+			return
+		}
+		if p.Query == "" {
+			writeError(w, http.StatusBadRequest, "bad_request", "program has no query declaration ('?- pred.')")
+			return
+		}
+		prog = p
+	}
+
+	evalOpts := sqo.EvalOptions{
+		Seminaive: true,
+		UseIndex:  true,
+		Workers:   s.cfg.Workers,
+		MaxTuples: s.cfg.MaxTuples,
+	}
+	if req.Workers > 0 {
+		evalOpts.Workers = req.Workers
+	}
+	if req.MaxTuples > 0 {
+		evalOpts.MaxTuples = req.MaxTuples
+	}
+
+	evalStart := time.Now()
+	tuples, stats, err := sqo.QueryCtx(ctx, prog, db, evalOpts)
+	evalMS := float64(time.Since(evalStart).Microseconds()) / 1000
+	if err != nil {
+		if ctxErr := classifyCtxErr(err); ctxErr != nil {
+			s.writeRequestError(w, ctxErr)
+			return
+		}
+		if errors.Is(err, sqo.ErrBudget) {
+			s.metrics.QueryBudgets.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "budget_exceeded", "%v", err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "eval_error", "%v", err)
+		return
+	}
+	s.metrics.AddStats(stats.Iterations, stats.TuplesDerived, stats.RuleFirings, stats.JoinProbes)
+
+	answers := make([]string, len(tuples))
+	for i, t := range tuples {
+		answers[i] = t.String()
+	}
+	sort.Strings(answers)
+	writeJSON(w, http.StatusOK, queryResponse{
+		Query:       prog.Query,
+		Answers:     answers,
+		AnswerCount: len(answers),
+		Satisfiable: satisfiable,
+		Optimized:   doOptimize,
+		CacheHit:    cacheHit,
+		Stats: queryStats{
+			Rounds:        stats.Iterations,
+			TuplesDerived: stats.TuplesDerived,
+			RuleFirings:   stats.RuleFirings,
+			JoinProbes:    stats.JoinProbes,
+		},
+		OptimizeMS: optimizeMS,
+		EvalMS:     evalMS,
+	})
+}

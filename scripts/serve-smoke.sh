@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test of the sqod daemon.
+#
+# Boots sqod on a private port, registers a dataset, runs the same
+# optimized query twice (the second must hit the rewrite cache),
+# scrapes /metrics for the cache counters, then sends SIGTERM and
+# asserts the daemon drains and exits 0. `make serve-smoke` and the CI
+# serve-smoke job both run exactly this script.
+set -euo pipefail
+
+ADDR="${SQOD_ADDR:-127.0.0.1:18351}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+trap 'kill "$SQOD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; sed 's/^/  sqod: /' "$WORK/sqod.log" >&2 || true; exit 1; }
+
+echo "serve-smoke: building sqod"
+go build -o "$WORK/sqod" ./cmd/sqod
+
+echo "serve-smoke: starting sqod on $ADDR"
+"$WORK/sqod" -addr "$ADDR" -drain 10s >"$WORK/sqod.log" 2>&1 &
+SQOD_PID=$!
+
+for i in $(seq 1 100); do
+	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+	kill -0 "$SQOD_PID" 2>/dev/null || fail "sqod exited during startup"
+	[ "$i" -eq 100 ] && fail "sqod did not become healthy within 10s"
+	sleep 0.1
+done
+
+echo "serve-smoke: registering dataset"
+curl -fsS -X PUT "$BASE/v1/datasets/quickstart" --data-binary '
+	step(1, 2). step(2, 3). step(3, 4). step(2, 5).
+	startPoint(1). startPoint(2). endPoint(4). endPoint(5).
+' >"$WORK/register.json" || fail "dataset registration failed"
+jq -e '.facts == 8' "$WORK/register.json" >/dev/null || fail "expected 8 facts, got: $(cat "$WORK/register.json")"
+
+QUERY='{
+  "program": "path(X, Y) :- step(X, Y). path(X, Y) :- step(X, Z), path(Z, Y). goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y). ?- goodPath.",
+  "ics": ":- startPoint(X), endPoint(Y), Y <= X.",
+  "dataset": "quickstart"
+}'
+
+echo "serve-smoke: first optimized query (cache miss)"
+curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$QUERY" >"$WORK/q1.json" || fail "first query failed"
+jq -e '.cache_hit == false and .optimized == true and .answer_count == 4' "$WORK/q1.json" >/dev/null \
+	|| fail "unexpected first response: $(cat "$WORK/q1.json")"
+
+echo "serve-smoke: second identical query (cache hit)"
+curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$QUERY" >"$WORK/q2.json" || fail "second query failed"
+jq -e '.cache_hit == true' "$WORK/q2.json" >/dev/null || fail "second query missed the cache: $(cat "$WORK/q2.json")"
+[ "$(jq -cS .answers "$WORK/q1.json")" = "$(jq -cS .answers "$WORK/q2.json")" ] || fail "cached answers differ from fresh answers"
+
+echo "serve-smoke: scraping /metrics"
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt" || fail "metrics scrape failed"
+grep -Eq '^sqod_cache_hits_total [1-9]' "$WORK/metrics.txt" || fail "sqod_cache_hits_total not positive"
+grep -Eq '^sqod_cache_misses_total [1-9]' "$WORK/metrics.txt" || fail "sqod_cache_misses_total not positive"
+grep -q '^sqod_requests_total' "$WORK/metrics.txt" || fail "sqod_requests_total missing"
+
+echo "serve-smoke: SIGTERM — expecting a clean drain"
+kill -TERM "$SQOD_PID"
+STATUS=0
+wait "$SQOD_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "sqod exited $STATUS after SIGTERM (want 0)"
+grep -q "clean shutdown" "$WORK/sqod.log" || fail "no clean-shutdown line in the log"
+
+echo "serve-smoke: PASS"

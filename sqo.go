@@ -39,6 +39,7 @@
 package sqo
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -125,6 +126,13 @@ func OptimizeWith(p *Program, ics []IC, opts Options) (*Result, error) {
 	return qtree.OptimizeWith(p, ics, opts)
 }
 
+// OptimizeCtx is OptimizeWith under a context: cancellation or
+// deadline expiry aborts the rewrite at the next pass boundary and
+// returns the context's error.
+func OptimizeCtx(ctx context.Context, p *Program, ics []IC, opts Options) (*Result, error) {
+	return qtree.OptimizeCtx(ctx, p, ics, opts)
+}
+
 // BaselineOptimize applies the per-rule residue method of [CGM88] —
 // the prior art the paper improves on; used for comparison.
 func BaselineOptimize(p *Program, ics []IC) *Program {
@@ -157,12 +165,32 @@ func EvalWith(p *Program, edb *DB, opts EvalOptions) (*DB, *Stats, error) {
 	return eval.EvalWith(p, edb, opts)
 }
 
+// EvalCtx is EvalWith under a context: cancellation (or deadline
+// expiry) stops the fixpoint promptly — it is checked at every round
+// barrier and periodically inside long join scans — returning the
+// context's error. Use it to bound per-request evaluation time or to
+// stop work when a client disconnects.
+func EvalCtx(ctx context.Context, p *Program, edb *DB, opts EvalOptions) (*DB, *Stats, error) {
+	return eval.EvalCtx(ctx, p, edb, opts)
+}
+
+// ErrBudget is wrapped by evaluation errors caused by exceeding
+// EvalOptions.MaxTuples; test with errors.Is to distinguish budget
+// exhaustion from cancellation.
+var ErrBudget = eval.ErrBudget
+
 // Query evaluates the program and returns the query predicate's tuples.
 func Query(p *Program, edb *DB) ([]eval.Tuple, *Stats, error) { return eval.Query(p, edb) }
 
 // QueryWith is Query with explicit engine options.
 func QueryWith(p *Program, edb *DB, opts EvalOptions) ([]eval.Tuple, *Stats, error) {
 	return eval.QueryWith(p, edb, opts)
+}
+
+// QueryCtx is QueryWith under a context; see EvalCtx for the
+// cancellation contract.
+func QueryCtx(ctx context.Context, p *Program, edb *DB, opts EvalOptions) ([]eval.Tuple, *Stats, error) {
+	return eval.QueryCtx(ctx, p, edb, opts)
 }
 
 // Satisfiable decides whether the program's query predicate has any
