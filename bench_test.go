@@ -6,6 +6,7 @@ package sqo
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/tcm"
@@ -46,10 +47,31 @@ func BenchmarkF1QueryTree(b *testing.B) {
 
 // benchEval factors the evaluate-original-vs-rewritten pattern.
 func benchEval(b *testing.B, prog *Program, db *DB) {
-	benchEvalWith(b, prog, db, EvalOptions{Seminaive: true, UseIndex: true})
+	benchEvalWith(b, prog, db, DefaultEvalOptions())
+}
+
+// engineOverride applies the SQO_EVAL_ENGINE environment variable
+// (legacy | compiled) so `make bench-compare` can run the same
+// benchmark names on both engines and feed the outputs to benchstat.
+func engineOverride(opts EvalOptions) EvalOptions {
+	switch os.Getenv("SQO_EVAL_ENGINE") {
+	case "legacy":
+		opts.CompilePlans = false
+	case "compiled":
+		opts.CompilePlans = true
+	}
+	return opts
+}
+
+// evalOptsWorkers is DefaultEvalOptions with a fixed worker count.
+func evalOptsWorkers(w int) EvalOptions {
+	o := DefaultEvalOptions()
+	o.Workers = w
+	return o
 }
 
 func benchEvalWith(b *testing.B, prog *Program, db *DB, opts EvalOptions) {
+	opts = engineOverride(opts)
 	b.ReportAllocs()
 	var probes int64
 	for i := 0; i < b.N; i++ {
@@ -78,10 +100,10 @@ func BenchmarkE1GoodPath(b *testing.B) {
 	b.Run("original", func(b *testing.B) { benchEval(b, p, db) })
 	b.Run("rewritten", func(b *testing.B) { benchEval(b, res.Program, db) })
 	b.Run("original-seq", func(b *testing.B) {
-		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 1})
+		benchEvalWith(b, p, db, evalOptsWorkers(1))
 	})
 	b.Run("original-par4", func(b *testing.B) {
-		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 4})
+		benchEvalWith(b, p, db, evalOptsWorkers(4))
 	})
 }
 
@@ -100,10 +122,10 @@ func BenchmarkE2Threshold(b *testing.B) {
 	b.Run("original", func(b *testing.B) { benchEval(b, p, db) })
 	b.Run("rewritten", func(b *testing.B) { benchEval(b, res.Program, db) })
 	b.Run("original-seq", func(b *testing.B) {
-		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 1})
+		benchEvalWith(b, p, db, evalOptsWorkers(1))
 	})
 	b.Run("original-par4", func(b *testing.B) {
-		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 4})
+		benchEvalWith(b, p, db, evalOptsWorkers(4))
 	})
 }
 
@@ -119,10 +141,10 @@ func BenchmarkE3ABPaths(b *testing.B) {
 	b.Run("original", func(b *testing.B) { benchEval(b, p, db) })
 	b.Run("rewritten", func(b *testing.B) { benchEval(b, res.Program, db) })
 	b.Run("original-seq", func(b *testing.B) {
-		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 1})
+		benchEvalWith(b, p, db, evalOptsWorkers(1))
 	})
 	b.Run("original-par4", func(b *testing.B) {
-		benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: 4})
+		benchEvalWith(b, p, db, evalOptsWorkers(4))
 	})
 }
 
@@ -283,7 +305,7 @@ func BenchmarkP1ParallelTransClosure(b *testing.B) {
 	db := NewDBFrom(workload.Chain(1, 250))
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: w})
+			benchEvalWith(b, p, db, evalOptsWorkers(w))
 		})
 	}
 }
@@ -296,7 +318,7 @@ func BenchmarkP1ParallelGoodPath(b *testing.B) {
 	db := NewDBFrom(workload.GoodPath(600, 100, 150))
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			benchEvalWith(b, p, db, EvalOptions{Seminaive: true, UseIndex: true, Workers: w})
+			benchEvalWith(b, p, db, evalOptsWorkers(w))
 		})
 	}
 }
@@ -314,10 +336,10 @@ func BenchmarkA3SeminaiveVsNaive(b *testing.B) {
 		name string
 		opts EvalOptions
 	}{
-		{"seminaive-indexed", EvalOptions{Seminaive: true, UseIndex: true}},
-		{"seminaive-scan", EvalOptions{Seminaive: true, UseIndex: false}},
-		{"naive-indexed", EvalOptions{Seminaive: false, UseIndex: true}},
-		{"naive-scan", EvalOptions{Seminaive: false, UseIndex: false}},
+		{"seminaive-indexed", EvalOptions{Seminaive: true, UseIndex: true, CompilePlans: true}},
+		{"seminaive-scan", EvalOptions{Seminaive: true, UseIndex: false, CompilePlans: true}},
+		{"naive-indexed", EvalOptions{Seminaive: false, UseIndex: true, CompilePlans: true}},
+		{"naive-scan", EvalOptions{Seminaive: false, UseIndex: false, CompilePlans: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()

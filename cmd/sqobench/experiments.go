@@ -368,10 +368,10 @@ func runA3() {
 		name string
 		opts sqo.EvalOptions
 	}{
-		{"semi-naive + index", sqo.EvalOptions{Seminaive: true, UseIndex: true}},
-		{"semi-naive, no index", sqo.EvalOptions{Seminaive: true, UseIndex: false}},
-		{"naive + index", sqo.EvalOptions{Seminaive: false, UseIndex: true}},
-		{"naive, no index", sqo.EvalOptions{Seminaive: false, UseIndex: false}},
+		{"semi-naive + index", sqo.EvalOptions{Seminaive: true, UseIndex: true, CompilePlans: true}},
+		{"semi-naive, no index", sqo.EvalOptions{Seminaive: true, UseIndex: false, CompilePlans: true}},
+		{"naive + index", sqo.EvalOptions{Seminaive: false, UseIndex: true, CompilePlans: true}},
+		{"naive, no index", sqo.EvalOptions{Seminaive: false, UseIndex: false, CompilePlans: true}},
 	}
 	header("engine", "probes", "time")
 	for _, c := range configs {
@@ -418,7 +418,8 @@ func runP1() {
 	for _, c := range cases {
 		var base measurement
 		for _, w := range []int{1, 2, 4, 8} {
-			opts := sqo.EvalOptions{Seminaive: true, UseIndex: true, Workers: w}
+			opts := sqo.DefaultEvalOptions()
+			opts.Workers = w
 			m := measureWith(c.prog, c.db, opts)
 			// Best of 3 to damp scheduler noise.
 			for rep := 0; rep < 2; rep++ {
@@ -541,8 +542,10 @@ type engineCfg struct {
 }
 
 func engines() []engineCfg {
+	scan := sqo.DefaultEvalOptions()
+	scan.UseIndex = false
 	return []engineCfg{
-		{"scan", sqo.EvalOptions{Seminaive: true, UseIndex: false}},
-		{"indexed", sqo.EvalOptions{Seminaive: true, UseIndex: true}},
+		{"scan", scan},
+		{"indexed", sqo.DefaultEvalOptions()},
 	}
 }

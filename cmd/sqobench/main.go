@@ -8,26 +8,63 @@
 //
 // Usage:
 //
-//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2] [-quick]
+//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2|P3] [-quick]
+//	         [-out bench.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	sqo "repro"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps")
+var (
+	quick   = flag.Bool("quick", false, "smaller sweeps")
+	outPath = flag.String("out", "", "write machine-readable P3 results (JSON) to this file")
+)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqobench: ")
-	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1, P2)")
+	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1..P3)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	experiments := []struct {
 		id   string
@@ -48,6 +85,7 @@ func main() {
 		{"A3", "Ablation: evaluation engine (semi-naive, indexes)", runA3},
 		{"P1", "Parallel semi-naive scaling (workers sweep)", runP1},
 		{"P2", "Rewrite-cache amortization (cold vs cache hit)", runP2},
+		{"P3", "Compiled join plans vs legacy string-keyed engine", runP3},
 	}
 	for _, e := range experiments {
 		if *runSel != "" && !strings.EqualFold(*runSel, e.id) {
@@ -81,7 +119,7 @@ type measurement struct {
 }
 
 func measure(p *sqo.Program, db *sqo.DB) measurement {
-	return measureWith(p, db, sqo.EvalOptions{Seminaive: true, UseIndex: true})
+	return measureWith(p, db, sqo.DefaultEvalOptions())
 }
 
 func measureWith(p *sqo.Program, db *sqo.DB, opts sqo.EvalOptions) measurement {

@@ -112,7 +112,9 @@ func main() {
 	}
 	if len(facts) > 0 {
 		db := sqo.NewDBFrom(facts)
-		opts := sqo.EvalOptions{Seminaive: true, UseIndex: true, Workers: *parallel, MaxTuples: *budget}
+		opts := sqo.DefaultEvalOptions()
+		opts.Workers = *parallel
+		opts.MaxTuples = *budget
 		origTuples, origStats, err := sqo.QueryCtx(ctx, unit.Program, db, opts)
 		if err != nil {
 			fatal(err, *timeout, *budget)

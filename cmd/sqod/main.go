@@ -12,7 +12,7 @@
 //
 //	sqod [-addr :8351] [-max-inflight n] [-cache-size n]
 //	     [-timeout 30s] [-max-timeout 5m] [-max-tuples n]
-//	     [-workers n] [-drain 30s] [-log text|json]
+//	     [-workers n] [-drain 30s] [-log text|json] [-pprof=false]
 //
 // Endpoints:
 //
@@ -22,6 +22,7 @@
 //	POST /v1/query             {program, ics, dataset, timeout_ms, ...}
 //	GET  /metrics              Prometheus text metrics
 //	GET  /healthz              liveness
+//	GET  /debug/pprof/         runtime profiles (disable with -pprof=false)
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, drains
 // in-flight requests (up to -drain), and exits 0.
@@ -52,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation workers (0 = one per CPU)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	logFormat := flag.String("log", "text", "log format: text or json")
+	enablePprof := flag.Bool("pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -71,6 +73,7 @@ func main() {
 		MaxTuples:      *maxTuples,
 		Workers:        *workers,
 		Logger:         logger,
+		EnablePprof:    *enablePprof,
 	})
 
 	httpSrv := &http.Server{

@@ -1,0 +1,582 @@
+package eval
+
+// The compiled-plan engine (Options.CompilePlans). It mirrors the
+// legacy evaluator's round structure — snapshot rounds, per-task output
+// buffers, merge strictly in task order — but runs every hot path over
+// interned data: rules become plans (plan.go), tuples become flat
+// []uint32 rows (intern.go), and the per-candidate binding is a flat
+// slot array instead of a map. Answers, Stats, and provenance are
+// bit-identical to the legacy engine for every worker count; the
+// differential tests in compiled_test.go enforce this.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+)
+
+// evalCompiled evaluates p over edb with the compiled-plan engine,
+// recording provenance steps into prov when non-nil. The caller has
+// already validated p.
+func evalCompiled(ctx context.Context, p *ast.Program, edb *DB, opts Options, prov *Provenance) (*DB, *Stats, error) {
+	ev := &cEvaluator{
+		ctx:     ctx,
+		prog:    p,
+		opts:    opts,
+		workers: opts.effectiveWorkers(),
+		stats:   &Stats{},
+		prov:    prov,
+	}
+	if err := ev.prepare(edb); err != nil {
+		return nil, nil, err
+	}
+	if err := ev.run(); err != nil {
+		return nil, nil, err
+	}
+	return ev.publicIDB(), ev.stats, nil
+}
+
+type cEvaluator struct {
+	ctx     context.Context
+	prog    *ast.Program
+	opts    Options
+	workers int
+	stats   *Stats
+	idbPr   map[string]bool
+	in      *interner
+	edb     map[string]*irel
+	idb     map[string]*irel
+	delta   map[string]*irel // tuples new in the previous round (semi-naive)
+	plans   map[planKey]*plan
+	prov    *Provenance
+}
+
+// prepare compiles the program's plans and interns the EDB relations
+// the program references. Interning is O(EDB) with small constants and
+// happens once per evaluation, before any join runs.
+func (ev *cEvaluator) prepare(edb *DB) error {
+	ev.idbPr = ev.prog.IDB()
+	arity, err := ev.prog.PredArity()
+	if err != nil {
+		return err
+	}
+	ev.in = newInterner()
+	ev.plans = map[planKey]*plan{}
+	for i, r := range ev.prog.Rules {
+		ev.plans[planKey{i, -1}] = compilePlan(ev.in, ev.idbPr, r, i, -1)
+		for occ, a := range r.Pos {
+			if ev.idbPr[a.Pred] {
+				ev.plans[planKey{i, occ}] = compilePlan(ev.in, ev.idbPr, r, i, occ)
+			}
+		}
+	}
+
+	referenced := map[string]bool{}
+	for _, r := range ev.prog.Rules {
+		for _, a := range r.Pos {
+			if !ev.idbPr[a.Pred] {
+				referenced[a.Pred] = true
+			}
+		}
+		for _, a := range r.Neg {
+			referenced[a.Pred] = true
+		}
+	}
+	preds := make([]string, 0, len(referenced))
+	for pred := range referenced {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds) // deterministic interning order
+	ev.edb = make(map[string]*irel, len(preds))
+	for _, pred := range preds {
+		rel := edb.Lookup(pred)
+		if rel == nil {
+			continue
+		}
+		ir := newIrel(rel.Arity, rel.Len())
+		buf := make([]uint32, rel.Arity)
+		for _, t := range rel.tuples {
+			for j, v := range t {
+				buf[j] = ev.in.intern(v)
+			}
+			ir.add(buf)
+		}
+		ev.edb[pred] = ir
+	}
+
+	ev.idb = make(map[string]*irel, len(ev.idbPr))
+	for pred := range ev.idbPr {
+		ev.idb[pred] = newIrel(arity[pred], 0)
+	}
+	return nil
+}
+
+func (ev *cEvaluator) run() error {
+	if ev.opts.Seminaive {
+		return ev.runSeminaive()
+	}
+	return ev.runNaive()
+}
+
+// firstRelLen mirrors evaluator.firstRelLen, except that the depth-0
+// relation is the plan's first subgoal in greedy order (which the
+// partition ranges apply to), not necessarily Pos[0].
+func (ev *cEvaluator) firstRelLen(ruleIdx, occ int, prevDelta map[string]*irel) int {
+	pl := ev.plans[planKey{ruleIdx, occ}]
+	if len(pl.subs) == 0 {
+		return 0
+	}
+	rel := ev.subRel(&pl.subs[0], prevDelta)
+	if rel == nil {
+		return 0
+	}
+	return rel.n
+}
+
+func (ev *cEvaluator) subRel(sp *subPlan, prevDelta map[string]*irel) *irel {
+	switch sp.src {
+	case srcDelta:
+		return prevDelta[sp.pred]
+	case srcIDB:
+		return ev.idb[sp.pred]
+	default:
+		return ev.edb[sp.pred]
+	}
+}
+
+func (ev *cEvaluator) newDelta() map[string]*irel {
+	d := make(map[string]*irel, len(ev.idb))
+	for pred, ir := range ev.idb {
+		d[pred] = newIrel(ir.arity, 0)
+	}
+	return d
+}
+
+func deltaTotal(d map[string]*irel) int {
+	n := 0
+	for _, ir := range d {
+		n += ir.n
+	}
+	return n
+}
+
+func (ev *cEvaluator) runNaive() error {
+	for {
+		if err := ev.ctx.Err(); err != nil {
+			return err
+		}
+		ev.stats.Iterations++
+		before := ev.stats.TuplesDerived
+		var tasks []task
+		for i := range ev.prog.Rules {
+			tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(i, -1, nil), ev.workers)
+		}
+		if err := ev.runRound(tasks, nil); err != nil {
+			return err
+		}
+		if ev.stats.TuplesDerived == before {
+			return nil
+		}
+	}
+}
+
+func (ev *cEvaluator) runSeminaive() error {
+	ev.delta = ev.newDelta()
+	if err := ev.ctx.Err(); err != nil {
+		return err
+	}
+	ev.stats.Iterations++
+	var tasks []task
+	for i, r := range ev.prog.Rules {
+		if !r.IsInit(ev.idbPr) {
+			continue
+		}
+		tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(i, -1, nil), ev.workers)
+	}
+	if err := ev.runRound(tasks, nil); err != nil {
+		return err
+	}
+	for {
+		if deltaTotal(ev.delta) == 0 {
+			return nil
+		}
+		if err := ev.ctx.Err(); err != nil {
+			return err
+		}
+		prevDelta := ev.delta
+		ev.delta = ev.newDelta()
+		ev.stats.Iterations++
+		tasks = tasks[:0]
+		for i, r := range ev.prog.Rules {
+			for occ, a := range r.Pos {
+				if !ev.idbPr[a.Pred] {
+					continue
+				}
+				tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: occ}, ev.firstRelLen(i, occ, prevDelta), ev.workers)
+			}
+		}
+		if err := ev.runRound(tasks, prevDelta); err != nil {
+			return err
+		}
+	}
+}
+
+// cTaskResult is the private output buffer of one compiled task: the
+// deduplicated head rows (flat, head-arity values each) and, when
+// provenance is on, the slot-binding snapshot per head.
+type cTaskResult struct {
+	headRows []uint32
+	nHeads   int
+	snaps    []uint32 // nSlots values per head
+	probes   int64
+	firings  int64
+	err      error
+}
+
+// runRound mirrors evaluator.runRound: bounded worker pool, results
+// merged strictly in task order at the barrier.
+func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
+	results := make([]cTaskResult, len(tasks))
+	workers := ev.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					results[i] = ev.runTask(tasks[i], prevDelta)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, t := range tasks {
+			results[i] = ev.runTask(t, prevDelta)
+			if results[i].err != nil {
+				break
+			}
+		}
+	}
+
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return res.err
+		}
+		ev.stats.JoinProbes += res.probes
+		ev.stats.RuleFirings += res.firings
+		pl := ev.plans[planKey{tasks[i].ruleIdx, tasks[i].occ}]
+		ha := len(pl.head.isConst)
+		idbRel := ev.idb[pl.head.pred]
+		for h := 0; h < res.nHeads; h++ {
+			row := res.headRows[h*ha : (h+1)*ha]
+			if !idbRel.add(row) {
+				continue // another task derived it first this round
+			}
+			ev.stats.TuplesDerived++
+			if ev.delta != nil {
+				ev.delta[pl.head.pred].add(row)
+			}
+			if ev.prov != nil {
+				snap := res.snaps[h*pl.nSlots : (h+1)*pl.nSlots]
+				fact, step := ev.materialize(pl, snap)
+				ev.prov.steps[fact.Key()] = step
+			}
+		}
+	}
+	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
+		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
+	}
+	return nil
+}
+
+// materialize converts a head row's slot snapshot back to the ground
+// ast rule instance the legacy engine records, producing byte-identical
+// provenance steps. Only runs at the merge for facts that are new.
+func (ev *cEvaluator) materialize(pl *plan, snap []uint32) (ast.Atom, provStep) {
+	head := ev.groundTpl(pl.head, snap)
+	inst := ast.Rule{Head: head}
+	for _, tpl := range pl.posTpls {
+		inst.Pos = append(inst.Pos, ev.groundTpl(tpl, snap))
+	}
+	for _, tpl := range pl.negTpls {
+		inst.Neg = append(inst.Neg, ev.groundTpl(tpl, snap))
+	}
+	return head, provStep{rule: inst, body: inst.Pos}
+}
+
+func (ev *cEvaluator) groundTpl(tpl atomTpl, snap []uint32) ast.Atom {
+	args := make([]ast.Term, len(tpl.vals))
+	for j, v := range tpl.vals {
+		if tpl.isConst[j] {
+			args[j] = ev.in.term(v)
+		} else {
+			args[j] = ev.in.term(snap[v])
+		}
+	}
+	return ast.Atom{Pred: tpl.pred, Args: args}
+}
+
+// cTaskRun is the per-task evaluation state: a flat slot binding, a
+// private output buffer with its dedup set, and reusable probe/negation
+// scratch buffers. No allocation happens per candidate tuple.
+type cTaskRun struct {
+	ev        *cEvaluator
+	pl        *plan
+	delta     map[string]*irel
+	lo, hi    int
+	binding   []uint32
+	probeBufs [][]uint32 // per-depth bound-value scratch
+	negBuf    []uint32
+	headBuf   []uint32
+	seen      rowHash // dedups headRows within this task
+	res       cTaskResult
+	base      int64
+}
+
+func (ev *cEvaluator) runTask(t task, prevDelta map[string]*irel) cTaskResult {
+	pl := ev.plans[planKey{t.ruleIdx, t.occ}]
+	tr := &cTaskRun{
+		ev:    ev,
+		pl:    pl,
+		delta: prevDelta,
+		lo:    t.lo,
+		hi:    t.hi,
+		base:  ev.stats.TuplesDerived,
+	}
+	tr.binding = make([]uint32, pl.nSlots)
+	tr.probeBufs = make([][]uint32, len(pl.subs))
+	for i := range pl.subs {
+		if n := len(pl.subs[i].boundPos); n > 0 {
+			tr.probeBufs[i] = make([]uint32, n)
+		}
+	}
+	if pl.maxNegArity > 0 {
+		tr.negBuf = make([]uint32, pl.maxNegArity)
+	}
+	ha := len(pl.head.isConst)
+	tr.headBuf = make([]uint32, ha)
+	tr.seen = rowHash{data: &tr.res.headRows, arity: ha}
+	if err := tr.joinFrom(0); err != nil {
+		tr.res.err = err
+	}
+	return tr.res
+}
+
+// joinFrom extends the slot binding over the plan's subgoals starting
+// at the given join depth.
+func (tr *cTaskRun) joinFrom(depth int) error {
+	ev := tr.ev
+	if ev.opts.MaxTuples > 0 && tr.base+int64(tr.res.nHeads) > ev.opts.MaxTuples {
+		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
+	}
+	pl := tr.pl
+	if depth == len(pl.subs) {
+		return tr.finish()
+	}
+	sp := &pl.subs[depth]
+	rel := ev.subRel(sp, tr.delta)
+	if rel == nil || rel.n == 0 {
+		return nil
+	}
+	lo, hi := 0, rel.n
+	if depth == 0 && tr.hi > 0 {
+		lo, hi = tr.lo, tr.hi
+		if hi > rel.n {
+			hi = rel.n
+		}
+	}
+	if ev.opts.UseIndex && sp.indexable && len(sp.boundPos) > 0 {
+		vals := tr.probeBufs[depth]
+		for k, c := range sp.boundConst {
+			if c {
+				vals[k] = sp.boundVal[k]
+			} else {
+				vals[k] = tr.binding[sp.boundVal[k]]
+			}
+		}
+		ix := rel.index(sp.mask, sp.boundPos)
+		// An empty lookup is a successful (and final) answer; never
+		// fall back to a scan.
+		for ri := ix.lookup(rel, vals); ri >= 0; ri = ix.next[ri] {
+			if int(ri) < lo || int(ri) >= hi {
+				continue
+			}
+			if err := tr.tryRow(depth, rel.row(int(ri)), false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := lo; i < hi; i++ {
+		if err := tr.tryRow(depth, rel.row(i), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tryRow is the compiled tryTuple: one candidate row at one depth.
+// verify is true on the scan path, where bound positions must be
+// re-checked; index candidates match them by construction (the index
+// compares values exactly, so collisions never reach here).
+func (tr *cTaskRun) tryRow(depth int, row []uint32, verify bool) error {
+	tr.res.probes++
+	if tr.res.probes&cancelPollMask == 0 {
+		if err := tr.ev.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	sp := &tr.pl.subs[depth]
+	if verify {
+		for k, p := range sp.boundPos {
+			want := sp.boundVal[k]
+			if !sp.boundConst[k] {
+				want = tr.binding[want]
+			}
+			if row[p] != want {
+				return nil
+			}
+		}
+	}
+	// Bind fresh slots, then check repeated in-atom occurrences. No
+	// undo is needed on backtrack: a slot is only read at depths where
+	// the plan statically bound it.
+	for k, p := range sp.bindPos {
+		tr.binding[sp.bindSlot[k]] = row[p]
+	}
+	for k, p := range sp.checkPos {
+		if row[p] != tr.binding[sp.checkSlot[k]] {
+			return nil
+		}
+	}
+	for i := range sp.cmps {
+		if !tr.evalCmp(&sp.cmps[i]) {
+			return nil
+		}
+	}
+	for i := range sp.negs {
+		if tr.negContains(&sp.negs[i]) {
+			return nil
+		}
+	}
+	return tr.joinFrom(depth + 1)
+}
+
+// evalCmp evaluates a compiled comparison. Equality on canonical intern
+// ids is id equality; the four order operators delegate to Term.Compare
+// on the resolved terms.
+func (tr *cTaskRun) evalCmp(c *cmpPlan) bool {
+	l, r := c.l, c.r
+	if !c.lConst {
+		l = tr.binding[l]
+	}
+	if !c.rConst {
+		r = tr.binding[r]
+	}
+	switch c.op {
+	case ast.EQ:
+		return l == r
+	case ast.NE:
+		return l != r
+	}
+	return ast.NewCmp(tr.ev.in.term(l), c.op, tr.ev.in.term(r)).Eval()
+}
+
+// negContains reports whether the ground instance of a negated subgoal
+// is present in the EDB (negation ranges over EDB relations only,
+// matching filtersHold).
+func (tr *cTaskRun) negContains(tpl *atomTpl) bool {
+	rel := tr.ev.edb[tpl.pred]
+	if rel == nil {
+		return false
+	}
+	buf := tr.negBuf[:len(tpl.isConst)]
+	for j, c := range tpl.isConst {
+		if c {
+			buf[j] = tpl.vals[j]
+		} else {
+			buf[j] = tr.binding[tpl.vals[j]]
+		}
+	}
+	return rel.contains(buf)
+}
+
+// finish emits the head row for a complete binding, mirroring
+// finishRule: firings count before dedup, per-task dedup plus a
+// snapshot-IDB membership check.
+func (tr *cTaskRun) finish() error {
+	pl := tr.pl
+	for i := range pl.finishCmps {
+		if !tr.evalCmp(&pl.finishCmps[i]) {
+			return nil
+		}
+	}
+	for i := range pl.finishNegs {
+		if tr.negContains(&pl.finishNegs[i]) {
+			return nil
+		}
+	}
+	tr.res.firings++
+	row := tr.headBuf
+	for j, c := range pl.head.isConst {
+		if c {
+			row[j] = pl.head.vals[j]
+		} else {
+			row[j] = tr.binding[pl.head.vals[j]]
+		}
+	}
+	slot, hv, found := tr.seen.insertLookup(row)
+	if found {
+		return nil
+	}
+	if rel := tr.ev.idb[pl.head.pred]; rel != nil && rel.contains(row) {
+		return nil
+	}
+	idx := int32(tr.res.nHeads)
+	tr.res.headRows = append(tr.res.headRows, row...)
+	tr.res.nHeads++
+	tr.seen.place(slot, hv, idx)
+	if tr.ev.prov != nil {
+		tr.res.snaps = append(tr.res.snaps, tr.binding...)
+	}
+	return nil
+}
+
+// publicIDB converts the interned IDB back to a public DB. Rows are
+// already deduplicated, so tuples and seen keys are written directly;
+// the keys reuse each distinct term's rendered Term.Key, making the
+// conversion linear with small constants.
+func (ev *cEvaluator) publicIDB() *DB {
+	out := NewDB()
+	var b strings.Builder
+	for pred, ir := range ev.idb {
+		rel := NewRelation(ir.arity)
+		rel.tuples = make([]Tuple, 0, ir.n)
+		for i := 0; i < ir.n; i++ {
+			row := ir.row(i)
+			t := make(Tuple, ir.arity)
+			for j, id := range row {
+				t[j] = ev.in.term(id)
+			}
+			rel.seen[ev.in.rowKey(&b, row)] = true
+			rel.tuples = append(rel.tuples, t)
+		}
+		out.rels[pred] = rel
+	}
+	return out
+}

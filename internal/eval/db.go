@@ -139,7 +139,8 @@ func (r *Relation) lookup(pos []int, vals []ast.Term) []int {
 		if !ok {
 			idx = map[string][]int{}
 			for i, t := range r.tuples {
-				idx[valsKeyAt(t, pos)] = append(idx[valsKeyAt(t, pos)], i)
+				k := valsKeyAt(t, pos)
+				idx[k] = append(idx[k], i)
 			}
 			if r.indexes == nil {
 				r.indexes = map[string]map[string][]int{}
@@ -248,13 +249,20 @@ func (db *DB) Preds() []string {
 	return out
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database. The source relations are
+// already deduplicated, so tuples and seen keys are copied directly —
+// no tuple is re-rendered or re-hashed. Indexes are not copied; the
+// clone rebuilds them lazily on first lookup.
 func (db *DB) Clone() *DB {
 	out := NewDB()
 	for p, r := range db.rels {
-		nr := NewRelation(r.Arity)
-		for _, t := range r.tuples {
-			nr.Add(t)
+		nr := &Relation{
+			Arity:  r.Arity,
+			tuples: append([]Tuple(nil), r.tuples...),
+			seen:   make(map[string]bool, len(r.seen)),
+		}
+		for k := range r.seen {
+			nr.seen[k] = true
 		}
 		out.rels[p] = nr
 	}

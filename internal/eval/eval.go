@@ -52,11 +52,19 @@ type Options struct {
 	// execution with no goroutines. Answers and Stats are identical for
 	// every worker count.
 	Workers int
+	// CompilePlans selects the compiled-plan engine (the default via
+	// DefaultOptions): terms are interned to dense uint32 ids, rules are
+	// compiled once into join plans with slot-based bindings and greedy
+	// join ordering, and all joins run over flat integer rows. Answers,
+	// Stats, and provenance are bit-identical to the legacy engine for
+	// every worker count; false keeps the legacy string-keyed engine as
+	// an escape hatch (and as the differential-test baseline).
+	CompilePlans bool
 }
 
 // DefaultOptions are the options used by Eval.
 func DefaultOptions() Options {
-	return Options{Seminaive: true, UseIndex: true}
+	return Options{Seminaive: true, UseIndex: true, CompilePlans: true}
 }
 
 // effectiveWorkers resolves Options.Workers to a concrete pool size.
@@ -90,6 +98,9 @@ func EvalCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) (*DB, *
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if opts.CompilePlans {
+		return evalCompiled(ctx, p, edb, opts, nil)
 	}
 	ev := &evaluator{
 		ctx:     ctx,
@@ -173,16 +184,17 @@ const minPartitionChunk = 8
 // call per (mask+1) join probes.
 const cancelPollMask = 0x3ff
 
-// appendPartitioned appends t split into up to ev.workers contiguous
+// appendPartitioned appends t split into up to workers contiguous
 // range partitions of the depth-0 relation (relLen tuples). The split
 // never changes results or stats: partitions cover the same tuple
-// ranges a single task would scan, in the same merged order.
-func (ev *evaluator) appendPartitioned(ts []task, t task, relLen int) []task {
-	parts := ev.workers
+// ranges a single task would scan, in the same merged order. Shared by
+// both engines so their task lists (and so their Stats) coincide.
+func appendPartitioned(ts []task, t task, relLen, workers int) []task {
+	parts := workers
 	if parts > relLen/minPartitionChunk {
 		parts = relLen / minPartitionChunk
 	}
-	if ev.workers <= 1 || parts <= 1 {
+	if workers <= 1 || parts <= 1 {
 		return append(ts, t)
 	}
 	chunk := (relLen + parts - 1) / parts
@@ -237,7 +249,7 @@ func (ev *evaluator) runNaive() error {
 		before := ev.stats.TuplesDerived
 		var tasks []task
 		for i, r := range ev.prog.Rules {
-			tasks = ev.appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil))
+			tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil), ev.workers)
 		}
 		if err := ev.runRound(tasks, nil); err != nil {
 			return err
@@ -270,7 +282,7 @@ func (ev *evaluator) runSeminaive() error {
 		if !r.IsInit(ev.idbPr) {
 			continue
 		}
-		tasks = ev.appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil))
+		tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil), ev.workers)
 	}
 	if err := ev.runRound(tasks, nil); err != nil {
 		return err
@@ -291,7 +303,7 @@ func (ev *evaluator) runSeminaive() error {
 		tasks = tasks[:0]
 		for i, r := range ev.prog.Rules {
 			for _, occ := range ev.idbOccurrences(r) {
-				tasks = ev.appendPartitioned(tasks, task{ruleIdx: i, occ: occ}, ev.firstRelLen(r, occ, prevDelta))
+				tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: occ}, ev.firstRelLen(r, occ, prevDelta), ev.workers)
 			}
 		}
 		if err := ev.runRound(tasks, prevDelta); err != nil {

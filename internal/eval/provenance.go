@@ -36,13 +36,29 @@ type Derivation struct {
 // single-threaded round barrier, in deterministic merge order, so the
 // recorded derivation of every fact is the same for any worker count.
 func EvalProv(p *ast.Program, edb *DB) (*DB, *Provenance, *Stats, error) {
+	return evalProvOpts(context.Background(), p, edb, DefaultOptions())
+}
+
+// evalProvOpts is EvalProv with an explicit context and options,
+// dispatching to the engine opts select. The differential tests use it
+// to compare provenance across engines and worker counts.
+func evalProvOpts(ctx context.Context, p *ast.Program, edb *DB, opts Options) (*DB, *Provenance, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	prov := &Provenance{steps: map[string]provStep{}}
-	opts := DefaultOptions()
+	if opts.CompilePlans {
+		idb, stats, err := evalCompiled(ctx, p, edb, opts, prov)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return idb, prov, stats, nil
+	}
 	ev := &evaluator{
-		ctx:     context.Background(),
+		ctx:     ctx,
 		prog:    p,
 		edb:     edb,
 		idb:     NewDB(),

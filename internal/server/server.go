@@ -18,6 +18,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"time"
@@ -46,6 +47,11 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes bounds request bodies. Default: 8 MiB.
 	MaxBodyBytes int64
+	// EnablePprof registers net/http/pprof handlers under /debug/pprof/
+	// on the server's mux. The profiles expose internals (goroutine
+	// stacks, heap contents), so only enable it where the listen
+	// address is trusted.
+	EnablePprof bool
 	// Logger receives structured request logs; default slog.Default().
 	Logger *slog.Logger
 }
@@ -114,6 +120,15 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/datasets", s.instrument("dataset_list", s.handleDatasetList))
 	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
+	if s.cfg.EnablePprof {
+		// net/http/pprof only self-registers on http.DefaultServeMux;
+		// a custom mux needs the handlers wired explicitly.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -462,12 +477,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		prog = p
 	}
 
-	evalOpts := sqo.EvalOptions{
-		Seminaive: true,
-		UseIndex:  true,
-		Workers:   s.cfg.Workers,
-		MaxTuples: s.cfg.MaxTuples,
-	}
+	evalOpts := sqo.DefaultEvalOptions()
+	evalOpts.Workers = s.cfg.Workers
+	evalOpts.MaxTuples = s.cfg.MaxTuples
 	if req.Workers > 0 {
 		evalOpts.Workers = req.Workers
 	}

@@ -156,9 +156,17 @@ func NewDBFrom(facts []Atom) *DB {
 func Eval(p *Program, edb *DB) (*DB, *Stats, error) { return eval.Eval(p, edb) }
 
 // EvalOptions configures the evaluation engine: naive vs semi-naive,
-// hash indexes, the derived-tuple budget, and the worker pool size
-// (Workers: 0 = one per CPU, 1 = sequential).
+// hash indexes, the derived-tuple budget, the worker pool size
+// (Workers: 0 = one per CPU, 1 = sequential), and plan compilation
+// (CompilePlans: interned terms + compiled join plans; see
+// DefaultEvalOptions).
 type EvalOptions = eval.Options
+
+// DefaultEvalOptions returns the engine defaults used by Eval:
+// semi-naive, hash-indexed, compiled join plans, one worker per CPU.
+// Start from it when overriding a single knob so new defaults (like
+// CompilePlans) are picked up automatically.
+func DefaultEvalOptions() EvalOptions { return eval.DefaultOptions() }
 
 // EvalWith evaluates with explicit engine options.
 func EvalWith(p *Program, edb *DB, opts EvalOptions) (*DB, *Stats, error) {
