@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-compare fuzz-smoke serve serve-smoke ci
+.PHONY: build vet fmt test race bench bench-compare fuzz-smoke incr-smoke serve serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ bench-compare:
 # -fuzztime by hand.
 fuzz-smoke:
 	$(GO) test ./internal/parser -run='^$$' -fuzz=FuzzParse -fuzztime=10s
+
+# Randomized differential check of incremental view maintenance under
+# the race detector: after every prefix of a random add/retract
+# sequence, View answers/counts/provenance must be bit-identical to a
+# from-scratch evaluation. The CI race job runs this too.
+incr-smoke:
+	$(GO) test ./internal/incr -race -count=1 -run='TestIncrRandomizedDifferential'
 
 # Run the query daemon locally with default settings.
 serve:

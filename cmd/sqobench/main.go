@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2|P3] [-quick]
+//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2|P3|P4] [-quick]
 //	         [-out bench.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -27,13 +27,13 @@ import (
 
 var (
 	quick   = flag.Bool("quick", false, "smaller sweeps")
-	outPath = flag.String("out", "", "write machine-readable P3 results (JSON) to this file")
+	outPath = flag.String("out", "", "write machine-readable P3/P4 results (JSON) to this file")
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqobench: ")
-	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1..P3)")
+	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1..P4)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -86,6 +86,7 @@ func main() {
 		{"P1", "Parallel semi-naive scaling (workers sweep)", runP1},
 		{"P2", "Rewrite-cache amortization (cold vs cache hit)", runP2},
 		{"P3", "Compiled join plans vs legacy string-keyed engine", runP3},
+		{"P4", "Incremental view maintenance vs recompute", runP4},
 	}
 	for _, e := range experiments {
 		if *runSel != "" && !strings.EqualFold(*runSel, e.id) {

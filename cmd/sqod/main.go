@@ -8,21 +8,35 @@
 // the fixpoint; /metrics exposes live counters in Prometheus text
 // format.
 //
+// Datasets are mutable: facts can be added and retracted after
+// registration, and materialized views attached to a dataset are kept
+// consistent through those updates by incremental maintenance
+// (counting for non-recursive strata, delete-rederive for recursive
+// ones) instead of re-evaluation.
+//
 // Usage:
 //
 //	sqod [-addr :8351] [-max-inflight n] [-cache-size n]
-//	     [-timeout 30s] [-max-timeout 5m] [-max-tuples n]
-//	     [-workers n] [-drain 30s] [-log text|json] [-pprof=false]
+//	     [-timeout 30s] [-max-timeout 5m] [-update-timeout 30s]
+//	     [-max-tuples n] [-workers n] [-drain 30s] [-log text|json]
+//	     [-pprof=false]
 //
 // Endpoints:
 //
-//	PUT  /v1/datasets/{name}   register facts (datalog source body)
-//	GET  /v1/datasets          list datasets
-//	POST /v1/optimize          {program, ics} → rewritten program
-//	POST /v1/query             {program, ics, dataset, timeout_ms, ...}
-//	GET  /metrics              Prometheus text metrics
-//	GET  /healthz              liveness
-//	GET  /debug/pprof/         runtime profiles (disable with -pprof=false)
+//	PUT    /v1/datasets/{name}               register or replace facts (datalog source body)
+//	POST   /v1/datasets/{name}               register facts; 409 if the name is taken
+//	DELETE /v1/datasets/{name}               unregister (drops attached views)
+//	GET    /v1/datasets                      list datasets (tuple counts, last-modified, views)
+//	POST   /v1/datasets/{name}/facts         insert facts (datalog source body)
+//	DELETE /v1/datasets/{name}/facts         retract facts (datalog source body)
+//	POST   /v1/datasets/{name}/views/{view}  materialize {program, ics, ...} incrementally
+//	GET    /v1/datasets/{name}/views/{view}  current answers of a live view
+//	DELETE /v1/datasets/{name}/views/{view}  drop a view
+//	POST   /v1/optimize                      {program, ics} → rewritten program
+//	POST   /v1/query                         {program, ics, dataset, timeout_ms, ...}
+//	GET    /metrics                          Prometheus text metrics
+//	GET    /healthz                          liveness
+//	GET    /debug/pprof/                     runtime profiles (disable with -pprof=false)
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, drains
 // in-flight requests (up to -drain), and exits 0.
@@ -49,6 +63,7 @@ func main() {
 	cacheSize := flag.Int("cache-size", 128, "optimized-program LRU cache entries")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+	updateTimeout := flag.Duration("update-timeout", 0, "per-update deadline for dataset mutations incl. view maintenance (0 = -timeout)")
 	maxTuples := flag.Int64("max-tuples", 0, "per-query derived-tuple budget (0 = unlimited)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = one per CPU)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
@@ -70,6 +85,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		UpdateTimeout:  *updateTimeout,
 		MaxTuples:      *maxTuples,
 		Workers:        *workers,
 		Logger:         logger,

@@ -272,6 +272,7 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 		}
 	}
 
+	roundDelta := map[string]int64{}
 	for i := range results {
 		res := &results[i]
 		if res.err != nil {
@@ -288,6 +289,7 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 				continue // another task derived it first this round
 			}
 			ev.stats.TuplesDerived++
+			roundDelta[pl.head.pred]++
 			if ev.delta != nil {
 				ev.delta[pl.head.pred].add(row)
 			}
@@ -298,6 +300,7 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 			}
 		}
 	}
+	ev.stats.RoundDeltas = append(ev.stats.RoundDeltas, roundDelta)
 	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
 		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}

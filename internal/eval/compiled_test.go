@@ -59,7 +59,7 @@ func requireCompiledIdentical(t *testing.T, label string, p *ast.Program, db *DB
 				lr := runEngine(t, p, db, legacy)
 				cr := runEngine(t, p, db, compiled)
 				ctx := fmt.Sprintf("%s (seminaive=%v index=%v workers=%d)", label, seminaive, useIndex, workers)
-				if lr.stats != cr.stats {
+				if !lr.stats.Equal(&cr.stats) {
 					t.Fatalf("%s: stats differ:\nlegacy   %+v\ncompiled %+v", ctx, lr.stats, cr.stats)
 				}
 				if !reflect.DeepEqual(lr.preds, cr.preds) {
@@ -224,7 +224,7 @@ func TestCompiledGreedyReorder(t *testing.T) {
 		}
 		stats = append(stats, st)
 	}
-	if *stats[0] != *stats[1] {
+	if !stats[0].Equal(stats[1]) {
 		t.Fatalf("compiled stats vary with workers: %+v vs %+v", *stats[0], *stats[1])
 	}
 }
@@ -290,7 +290,7 @@ func TestCompiledDifferentialRandomPrograms(t *testing.T) {
 			if !reflect.DeepEqual(cr.preds, legacy.preds) {
 				t.Fatalf("trial %d workers=%d: answers differ from legacy\n%s", trial, w, src)
 			}
-			if prev != nil && (cr.stats != prev.stats || cr.prov != prev.prov) {
+			if prev != nil && (!cr.stats.Equal(&prev.stats) || cr.prov != prev.prov) {
 				t.Fatalf("trial %d: compiled run varies with workers\n%s", trial, src)
 			}
 			c := cr

@@ -142,7 +142,7 @@ func TestEvalCtxDeterminismUnaffected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *s1 != *s2 {
+	if !s1.Equal(s2) {
 		t.Fatalf("stats diverged: %+v vs %+v", *s1, *s2)
 	}
 	a1, a2 := idb1.SortedFacts("p"), idb2.SortedFacts("p")

@@ -1,0 +1,422 @@
+package eval
+
+// Exported delta-execution surface for incremental view maintenance
+// (package incr). A DeltaProgram compiles one program into join plans
+// for every (rule, occurrence) pair — including EDB occurrences, which
+// full evaluation never delta-restricts but incremental maintenance
+// must (the external Δ is an EDB delta) — plus one head-bound
+// derivability plan per rule, all sharing a single interner whose ids
+// stay stable for the life of the handle. The caller owns relation
+// storage (IRel) and decides, per run, which version of each relation
+// every subgoal reads (RelView prefix snapshots); that per-subgoal
+// old/new freedom is exactly what the counting and DRed delta passes
+// need and what the in-engine evaluators never expose.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// errStopRun stops a derivability run at its first complete firing.
+var errStopRun = errors.New("eval: stop delta run")
+
+// DeltaProgram is a compiled handle for delta evaluation of one
+// validated program. It is immutable after CompileDeltaProgram and safe
+// for concurrent RunDelta/Derivable calls only when the views passed in
+// are not being written — the intended single-writer discipline of
+// incremental maintenance.
+type DeltaProgram struct {
+	prog      *ast.Program
+	idbPr     map[string]bool
+	arity     map[string]int
+	in        *interner
+	plans     map[planKey]*plan
+	headPlans []*plan // per rule: head variables pre-bound (Derivable)
+}
+
+// CompileDeltaProgram validates p and compiles its plans. Unlike the
+// in-engine prepare step, every positive occurrence of every rule gets
+// a delta plan (occ ranges over all subgoals, not just IDB ones).
+func CompileDeltaProgram(p *ast.Program) (*DeltaProgram, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	arity, err := p.PredArity()
+	if err != nil {
+		return nil, err
+	}
+	dp := &DeltaProgram{
+		prog:      p,
+		idbPr:     p.IDB(),
+		arity:     arity,
+		in:        newInterner(),
+		plans:     make(map[planKey]*plan, 2*len(p.Rules)),
+		headPlans: make([]*plan, len(p.Rules)),
+	}
+	for i, r := range p.Rules {
+		dp.plans[planKey{i, -1}] = compilePlan(dp.in, dp.idbPr, r, i, -1)
+		for occ := range r.Pos {
+			dp.plans[planKey{i, occ}] = compilePlan(dp.in, dp.idbPr, r, i, occ)
+		}
+		dp.headPlans[i] = compilePlanBound(dp.in, dp.idbPr, r, i, -1, true)
+	}
+	return dp, nil
+}
+
+// Program returns the compiled program. Callers must not mutate it.
+func (dp *DeltaProgram) Program() *ast.Program { return dp.prog }
+
+// IsIDB reports whether pred is derived by some rule of the program.
+func (dp *DeltaProgram) IsIDB(pred string) bool { return dp.idbPr[pred] }
+
+// PredArity returns the arity of a predicate the program mentions.
+func (dp *DeltaProgram) PredArity(pred string) (int, bool) {
+	n, ok := dp.arity[pred]
+	return n, ok
+}
+
+// IRel is an interned relation owned by the caller: flat rows of
+// DeltaProgram-interned ids, append-only, set-semantic (Add dedups).
+type IRel struct{ r *irel }
+
+// NewIRel returns an empty relation of the given arity.
+func (dp *DeltaProgram) NewIRel(arity int) *IRel {
+	return &IRel{r: newIrel(arity, 0)}
+}
+
+// Len returns the number of rows.
+func (ir *IRel) Len() int { return ir.r.n }
+
+// Arity returns the relation's arity.
+func (ir *IRel) Arity() int { return ir.r.arity }
+
+// Row returns row i. The slice aliases internal storage: callers must
+// not modify it, and must not retain it across an Add (which may grow
+// the backing array).
+func (ir *IRel) Row(i int) []uint32 { return ir.r.row(i) }
+
+// Add appends a row unless already present, copying the values, and
+// reports whether the row was new.
+func (ir *IRel) Add(row []uint32) bool { return ir.r.add(row) }
+
+// Contains reports whether the relation holds the row.
+func (ir *IRel) Contains(row []uint32) bool { return ir.r.contains(row) }
+
+// View returns a snapshot of the relation's current contents. Because
+// IRel is append-only, the snapshot stays frozen while later rows are
+// added — the cheap MVCC that lets a delta pass read "old" state while
+// building "new".
+func (ir *IRel) View() RelView {
+	if ir == nil {
+		return RelView{}
+	}
+	return RelView{Rel: ir, Hi: ir.r.n}
+}
+
+// RelView is a prefix snapshot of an append-only relation: rows
+// [0, Hi) of Rel. The zero value is an empty relation.
+type RelView struct {
+	Rel *IRel
+	Hi  int
+}
+
+// Len returns the number of visible rows.
+func (v RelView) Len() int {
+	if v.Rel == nil {
+		return 0
+	}
+	return v.Hi
+}
+
+// Contains reports membership within the prefix in O(1): the backing
+// hash set stores row indexes, so a hit beyond Hi is a row appended
+// after the snapshot and reads as absent.
+func (v RelView) Contains(row []uint32) bool {
+	if v.Rel == nil || v.Hi == 0 {
+		return false
+	}
+	idx := v.Rel.r.set.findIdx(row)
+	return idx >= 0 && int(idx) < v.Hi
+}
+
+// Row returns row i of the snapshot (caller must not modify).
+func (v RelView) Row(i int) []uint32 { return v.Rel.r.row(i) }
+
+// InternFact interns a ground tuple of pred, appending the row to buf
+// and returning it. Errors on unknown predicates, arity mismatches, and
+// non-ground arguments.
+func (dp *DeltaProgram) InternFact(pred string, args []ast.Term, buf []uint32) ([]uint32, error) {
+	ar, ok := dp.arity[pred]
+	if !ok {
+		return nil, fmt.Errorf("eval: predicate %s is not mentioned by the program", pred)
+	}
+	if len(args) != ar {
+		return nil, fmt.Errorf("eval: %s expects %d arguments, got %d", pred, ar, len(args))
+	}
+	for _, t := range args {
+		if !t.IsConst() {
+			return nil, fmt.Errorf("eval: fact %s(...) has non-ground argument %s", pred, t)
+		}
+		buf = append(buf, dp.in.intern(t))
+	}
+	return buf, nil
+}
+
+// Tuple converts an interned row back to terms.
+func (dp *DeltaProgram) Tuple(row []uint32) Tuple {
+	out := make(Tuple, len(row))
+	for i, id := range row {
+		out[i] = dp.in.term(id)
+	}
+	return out
+}
+
+// Atom converts an interned row of pred back to a ground atom.
+func (dp *DeltaProgram) Atom(pred string, row []uint32) ast.Atom {
+	return ast.Atom{Pred: pred, Args: dp.Tuple(row)}
+}
+
+// dRun is the delta-plan executor: cTaskRun with caller-supplied
+// per-subgoal views instead of engine-owned snapshot relations, and an
+// emit callback instead of an output buffer (delta passes want every
+// firing, with the caller deciding dedup and counting semantics).
+type dRun struct {
+	dp        *DeltaProgram
+	ctx       context.Context
+	pl        *plan
+	subs      []RelView // indexed by subgoal index (subPlan.subIdx)
+	negs      func(string) RelView
+	emit      func([]uint32) error
+	binding   []uint32
+	probeBufs [][]uint32
+	negBuf    []uint32
+	headBuf   []uint32
+	probes    int64
+}
+
+func (dp *DeltaProgram) newRun(ctx context.Context, pl *plan, subs []RelView, negs func(string) RelView, emit func([]uint32) error) *dRun {
+	tr := &dRun{dp: dp, ctx: ctx, pl: pl, subs: subs, negs: negs, emit: emit}
+	tr.binding = make([]uint32, pl.nSlots)
+	tr.probeBufs = make([][]uint32, len(pl.subs))
+	for i := range pl.subs {
+		if n := len(pl.subs[i].boundPos); n > 0 {
+			tr.probeBufs[i] = make([]uint32, n)
+		}
+	}
+	if pl.maxNegArity > 0 {
+		tr.negBuf = make([]uint32, pl.maxNegArity)
+	}
+	tr.headBuf = make([]uint32, len(pl.head.isConst))
+	return tr
+}
+
+// RunDelta evaluates rule ruleIdx with subgoal occ (by subgoal index;
+// -1 for the full join) delta-restricted, reading each positive subgoal
+// j from subs[j] and each negated subgoal from negs(pred) (nil negs
+// reads every negated instance as absent). emit is called once per
+// complete rule firing with the instantiated head row; the slice is
+// reused across calls, so copy it to retain, and a non-nil emit error
+// aborts the run and is returned verbatim. No dedup, budget, or
+// firing/derivation accounting happens here — only join probes are
+// counted (the returned int64); delta passes own those semantics.
+// Emitting may append to the very relations being read: views bound
+// the iteration to their frozen prefix.
+func (dp *DeltaProgram) RunDelta(ctx context.Context, ruleIdx, occ int, subs []RelView, negs func(string) RelView, emit func([]uint32) error) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pl, ok := dp.plans[planKey{ruleIdx, occ}]
+	if !ok {
+		return 0, fmt.Errorf("eval: no plan for rule %d occurrence %d", ruleIdx, occ)
+	}
+	if got, want := len(subs), len(dp.prog.Rules[ruleIdx].Pos); got != want {
+		return 0, fmt.Errorf("eval: rule %d has %d subgoals, got %d views", ruleIdx, want, got)
+	}
+	tr := dp.newRun(ctx, pl, subs, negs, emit)
+	err := tr.joinFrom(0)
+	return tr.probes, err
+}
+
+// Derivable reports whether head — an interned row of rule ruleIdx's
+// head predicate — has at least one firing over the supplied views. It
+// uses the rule's head-bound plan: the candidate row seeds the binding
+// slots, so every subgoal sees the head's variables as bound and the
+// join explores only instantiations that could derive exactly this
+// row. Probe count is returned for accounting.
+func (dp *DeltaProgram) Derivable(ctx context.Context, ruleIdx int, head []uint32, subs []RelView, negs func(string) RelView) (bool, int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pl := dp.headPlans[ruleIdx]
+	if got, want := len(subs), len(dp.prog.Rules[ruleIdx].Pos); got != want {
+		return false, 0, fmt.Errorf("eval: rule %d has %d subgoals, got %d views", ruleIdx, want, got)
+	}
+	tr := dp.newRun(ctx, pl, subs, negs, nil)
+	tr.emit = func([]uint32) error { return errStopRun }
+	// Seed the binding from the candidate row: constants must match
+	// outright; variable slots take the row's value, and a second pass
+	// catches repeated head variables whose positions disagree (the
+	// last write wins in pass one, so any mismatch survives to pass
+	// two).
+	for j, c := range pl.head.isConst {
+		if c {
+			if head[j] != pl.head.vals[j] {
+				return false, 0, nil
+			}
+		} else {
+			tr.binding[pl.head.vals[j]] = head[j]
+		}
+	}
+	for j, c := range pl.head.isConst {
+		if !c && tr.binding[pl.head.vals[j]] != head[j] {
+			return false, 0, nil
+		}
+	}
+	err := tr.joinFrom(0)
+	if err == errStopRun {
+		return true, tr.probes, nil
+	}
+	return false, tr.probes, err
+}
+
+// joinFrom mirrors cTaskRun.joinFrom over caller views: iteration is
+// clamped to each view's prefix on both the index path (chains are in
+// ascending row order, so the first out-of-prefix candidate ends the
+// chain) and the scan path. Indexes are always used when the plan is
+// indexable — delta passes have no ablation knob.
+func (tr *dRun) joinFrom(depth int) error {
+	pl := tr.pl
+	if depth == len(pl.subs) {
+		return tr.finish()
+	}
+	sp := &pl.subs[depth]
+	v := tr.subs[sp.subIdx]
+	if v.Rel == nil || v.Hi == 0 {
+		return nil
+	}
+	rel := v.Rel.r
+	if sp.indexable && len(sp.boundPos) > 0 {
+		vals := tr.probeBufs[depth]
+		for k, c := range sp.boundConst {
+			if c {
+				vals[k] = sp.boundVal[k]
+			} else {
+				vals[k] = tr.binding[sp.boundVal[k]]
+			}
+		}
+		ix := rel.index(sp.mask, sp.boundPos)
+		for ri := ix.lookup(rel, vals); ri >= 0; ri = ix.next[ri] {
+			if int(ri) >= v.Hi {
+				break // ascending chain: everything further is post-snapshot
+			}
+			if err := tr.tryRow(depth, rel.row(int(ri)), false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < v.Hi; i++ {
+		if err := tr.tryRow(depth, rel.row(i), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tr *dRun) tryRow(depth int, row []uint32, verify bool) error {
+	tr.probes++
+	if tr.probes&cancelPollMask == 0 {
+		if err := tr.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	sp := &tr.pl.subs[depth]
+	if verify {
+		for k, p := range sp.boundPos {
+			want := sp.boundVal[k]
+			if !sp.boundConst[k] {
+				want = tr.binding[want]
+			}
+			if row[p] != want {
+				return nil
+			}
+		}
+	}
+	for k, p := range sp.bindPos {
+		tr.binding[sp.bindSlot[k]] = row[p]
+	}
+	for k, p := range sp.checkPos {
+		if row[p] != tr.binding[sp.checkSlot[k]] {
+			return nil
+		}
+	}
+	for i := range sp.cmps {
+		if !tr.evalCmp(&sp.cmps[i]) {
+			return nil
+		}
+	}
+	for i := range sp.negs {
+		if tr.negContains(&sp.negs[i]) {
+			return nil
+		}
+	}
+	return tr.joinFrom(depth + 1)
+}
+
+func (tr *dRun) evalCmp(c *cmpPlan) bool {
+	l, r := c.l, c.r
+	if !c.lConst {
+		l = tr.binding[l]
+	}
+	if !c.rConst {
+		r = tr.binding[r]
+	}
+	switch c.op {
+	case ast.EQ:
+		return l == r
+	case ast.NE:
+		return l != r
+	}
+	return ast.NewCmp(tr.dp.in.term(l), c.op, tr.dp.in.term(r)).Eval()
+}
+
+func (tr *dRun) negContains(tpl *atomTpl) bool {
+	if tr.negs == nil {
+		return false
+	}
+	buf := tr.negBuf[:len(tpl.isConst)]
+	for j, c := range tpl.isConst {
+		if c {
+			buf[j] = tpl.vals[j]
+		} else {
+			buf[j] = tr.binding[tpl.vals[j]]
+		}
+	}
+	return tr.negs(tpl.pred).Contains(buf)
+}
+
+func (tr *dRun) finish() error {
+	pl := tr.pl
+	for i := range pl.finishCmps {
+		if !tr.evalCmp(&pl.finishCmps[i]) {
+			return nil
+		}
+	}
+	for i := range pl.finishNegs {
+		if tr.negContains(&pl.finishNegs[i]) {
+			return nil
+		}
+	}
+	row := tr.headBuf
+	for j, c := range pl.head.isConst {
+		if c {
+			row[j] = pl.head.vals[j]
+		} else {
+			row[j] = tr.binding[pl.head.vals[j]]
+		}
+	}
+	return tr.emit(row)
+}

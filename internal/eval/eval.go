@@ -32,6 +32,41 @@ type Stats struct {
 	// partial rule instantiations — the dominant cost of evaluation
 	// and the quantity semantic query optimization reduces.
 	JoinProbes int64
+	// RoundDeltas records, for each fixpoint round, how many new tuples
+	// were merged into each IDB relation that round (relation name →
+	// tuple count; relations with no new tuples are omitted, a round
+	// that derived nothing records an empty map). len(RoundDeltas) ==
+	// Iterations after a completed run, and the contents are
+	// deterministic like every other counter. This is what makes
+	// incremental-maintenance work (internal/incr) comparable with full
+	// runs in sqobench and /metrics.
+	RoundDeltas []map[string]int64
+}
+
+// Equal reports whether two Stats are identical, including the
+// per-round delta sizes. Stats stopped being comparable with == when
+// RoundDeltas (a slice) was added; use this instead.
+func (s *Stats) Equal(o *Stats) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Iterations != o.Iterations || s.RuleFirings != o.RuleFirings ||
+		s.TuplesDerived != o.TuplesDerived || s.JoinProbes != o.JoinProbes ||
+		len(s.RoundDeltas) != len(o.RoundDeltas) {
+		return false
+	}
+	for i := range s.RoundDeltas {
+		a, b := s.RoundDeltas[i], o.RoundDeltas[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if bv, ok := b[k]; !ok || bv != v {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Options configures evaluation.
@@ -350,6 +385,7 @@ func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
 		}
 	}
 
+	roundDelta := map[string]int64{}
 	for i := range results {
 		res := &results[i]
 		if res.err != nil {
@@ -362,6 +398,7 @@ func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
 				continue // another task derived it first this round
 			}
 			ev.stats.TuplesDerived++
+			roundDelta[h.fact.Pred]++
 			if ev.delta != nil {
 				ev.delta.AddFact(h.fact)
 			}
@@ -370,6 +407,7 @@ func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
 			}
 		}
 	}
+	ev.stats.RoundDeltas = append(ev.stats.RoundDeltas, roundDelta)
 	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
 		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}

@@ -35,7 +35,7 @@ func evalAllWorkers(t *testing.T, p *ast.Program, db *DB, base Options, workers 
 func requireIdentical(t *testing.T, label string, workers []int, idbs []*DB, stats []*Stats) {
 	t.Helper()
 	for i := 1; i < len(idbs); i++ {
-		if *stats[i] != *stats[0] {
+		if !stats[i].Equal(stats[0]) {
 			t.Fatalf("%s: stats differ between workers=%d and workers=%d:\n%+v\nvs\n%+v",
 				label, workers[0], workers[i], *stats[0], *stats[i])
 		}

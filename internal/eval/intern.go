@@ -136,6 +136,27 @@ func (h *rowHash) find(vals []uint32) bool {
 	}
 }
 
+// findIdx is find returning the stored row index instead of a bool:
+// the index of vals in the backing store, or -1 when absent. Read-only;
+// lets prefix snapshots (RelView) answer membership for rows [0, hi)
+// of an append-only relation in O(1).
+func (h *rowHash) findIdx(vals []uint32) int32 {
+	if h.n == 0 {
+		return -1
+	}
+	mask := len(h.idxs) - 1
+	hv := hashU32s(vals)
+	for i := int(hv) & mask; ; i = (i + 1) & mask {
+		idx := h.idxs[i]
+		if idx < 0 {
+			return -1
+		}
+		if h.hashes[i] == hv && rowsEqual(h.rowAt(idx), vals) {
+			return idx
+		}
+	}
+}
+
 // insertLookup probes for vals, growing the table first if needed. It
 // returns the slot where vals lives or should be placed, the hash, and
 // whether the row is already present.

@@ -100,10 +100,20 @@ type plan struct {
 // greedyJoinOrder orders the subgoals of r for a task restricted to
 // delta occurrence occ (-1 for none). See the package comment above.
 func greedyJoinOrder(r ast.Rule, occ int) []int {
+	return greedyJoinOrderBound(r, occ, nil)
+}
+
+// greedyJoinOrderBound is greedyJoinOrder with a set of variables known
+// to be bound before the first subgoal is probed (head-bound
+// derivability plans seed the head's variables this way).
+func greedyJoinOrderBound(r ast.Rule, occ int, preBound map[string]bool) []int {
 	n := len(r.Pos)
 	order := make([]int, 0, n)
 	used := make([]bool, n)
 	bound := map[string]bool{}
+	for v := range preBound {
+		bound[v] = true
+	}
 	take := func(i int) {
 		order = append(order, i)
 		used[i] = true
@@ -140,8 +150,20 @@ func greedyJoinOrder(r ast.Rule, occ int) []int {
 // compilePlan builds the plan for one (rule, occurrence) task, interning
 // every constant the rule mentions.
 func compilePlan(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, occ int) *plan {
+	return compilePlanBound(in, idbPr, r, ruleIdx, occ, false)
+}
+
+// compilePlanBound is compilePlan with an optional head-bound mode:
+// when headBound is true the head's variables are assigned the lowest
+// slots (in order of first occurrence in the head) and treated as bound
+// from depth 0. The executor seeds those slots from a candidate head
+// row before joining, which turns the plan into a derivability check —
+// every subgoal sees the head variables as bound positions, so the join
+// only explores instantiations that could derive exactly that row
+// (DRed's rederivation step in internal/incr).
+func compilePlanBound(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, occ int, headBound bool) *plan {
 	n := len(r.Pos)
-	pl := &plan{ruleIdx: ruleIdx, occ: occ, order: greedyJoinOrder(r, occ)}
+	pl := &plan{ruleIdx: ruleIdx, occ: occ}
 
 	slots := map[string]uint32{}
 	slotOf := func(name string) uint32 {
@@ -153,6 +175,15 @@ func compilePlan(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, occ i
 		return s
 	}
 	bound := map[string]bool{}
+	if headBound {
+		for _, t := range r.Head.Args {
+			if !t.IsConst() {
+				slotOf(t.Name)
+				bound[t.Name] = true
+			}
+		}
+	}
+	pl.order = greedyJoinOrderBound(r, occ, bound)
 	cmpDone := make([]bool, len(r.Cmp))
 	negDone := make([]bool, len(r.Neg))
 	allBound := func(vars []string) bool {

@@ -1,0 +1,645 @@
+package incr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+)
+
+// Apply ingests a batch of EDB insertions and retractions and updates
+// every derived relation incrementally, returning the net change to
+// the query predicate's answers. Batch semantics are delete-then-
+// insert: a fact both retracted and added ends up present. Unknown
+// predicates (not mentioned by the program) are ignored; updating a
+// derived predicate is an error. On error the view keeps its EDB
+// (every ingested batch is final) but marks the IDB stale; the next
+// operation repairs it with a full rebuild.
+func (v *View) Apply(adds, dels []ast.Atom) (Changes, error) {
+	return v.ApplyCtx(context.Background(), adds, dels)
+}
+
+// ApplyCtx is Apply under a context: cancellation or deadline expiry
+// aborts the update mid-propagation (leaving the view broken, see
+// Apply).
+func (v *View) ApplyCtx(ctx context.Context, adds, dels []ast.Atom) (Changes, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Canonicalize the batch to net EDB deltas against current state:
+	// net⁻ = retractions of present facts not re-added, net⁺ = additions
+	// of absent facts.
+	plus := map[string]map[string][]uint32{}
+	minus := map[string]map[string][]uint32{}
+	var buf []uint32
+	intern1 := func(a ast.Atom) ([]uint32, error) {
+		if v.idbPr[a.Pred] {
+			return nil, fmt.Errorf("incr: %s is a derived predicate; only EDB facts can be updated", a.Pred)
+		}
+		if _, ok := v.arity[a.Pred]; !ok {
+			return nil, nil // not mentioned by the program: no effect
+		}
+		var err error
+		buf, err = v.dp.InternFact(a.Pred, a.Args, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint32(nil), buf...), nil
+	}
+	for _, a := range dels {
+		row, err := intern1(a)
+		if err != nil {
+			return Changes{}, err
+		}
+		if row == nil || !v.curView(a.Pred).Contains(row) {
+			continue
+		}
+		if minus[a.Pred] == nil {
+			minus[a.Pred] = map[string][]uint32{}
+		}
+		minus[a.Pred][rowKey(row)] = row
+	}
+	for _, a := range adds {
+		row, err := intern1(a)
+		if err != nil {
+			return Changes{}, err
+		}
+		if row == nil {
+			continue
+		}
+		k := rowKey(row)
+		if m := minus[a.Pred]; m != nil {
+			delete(m, k) // delete-then-insert: the add wins
+		}
+		if v.curView(a.Pred).Contains(row) {
+			continue
+		}
+		if plus[a.Pred] == nil {
+			plus[a.Pred] = map[string][]uint32{}
+		}
+		plus[a.Pred][k] = row
+	}
+	for pred, m := range minus {
+		if len(m) == 0 {
+			delete(minus, pred)
+		}
+	}
+
+	if v.broken {
+		return v.fullRebuild(ctx, plus, minus)
+	}
+	if len(plus) == 0 && len(minus) == 0 {
+		v.stats.Applies++
+		return Changes{}, nil
+	}
+	for pred := range plus {
+		if v.negPreds[pred] {
+			return v.fullRebuild(ctx, plus, minus)
+		}
+	}
+	for pred := range minus {
+		if v.negPreds[pred] {
+			return v.fullRebuild(ctx, plus, minus)
+		}
+	}
+
+	// Freeze pre-update state of every relation, then ingest the EDB
+	// deltas (snapshots stay valid: deletions rebuild into a fresh
+	// relation, additions append past the frozen prefix).
+	oldViews := map[string]eval.RelView{}
+	for pred, rel := range v.rels {
+		oldViews[pred] = rel.View()
+	}
+	deltaPlus, deltaMinus := v.ingestEDB(plus, minus)
+
+	for i := range v.strata {
+		st := &v.strata[i]
+		if !v.strAffected(st, deltaPlus, deltaMinus) {
+			continue
+		}
+		err := ctx.Err()
+		switch {
+		case err != nil:
+		case st.recursive:
+			err = v.applyDRed(ctx, st, oldViews, deltaPlus, deltaMinus)
+		default:
+			err = v.applyCounting(ctx, st, oldViews, deltaPlus, deltaMinus)
+		}
+		if err != nil {
+			v.broken = true
+			v.lastGood = oldViews[v.prog.Query]
+			return Changes{}, err
+		}
+	}
+
+	v.stats.Applies++
+	v.version++
+	ch := Changes{}
+	if d := deltaPlus[v.prog.Query]; nonEmpty(d) {
+		ch.Added = v.externSorted(d.View())
+		v.stats.TuplesAdded += int64(d.Len())
+	}
+	if d := deltaMinus[v.prog.Query]; nonEmpty(d) {
+		ch.Removed = v.externSorted(d.View())
+		v.stats.TuplesRemoved += int64(d.Len())
+	}
+	return ch, nil
+}
+
+// ingestEDB applies the net deltas to the EDB relations and returns
+// them as interned delta relations keyed by predicate (the same maps
+// the strata passes then extend with derived deltas). Rows are added
+// in sorted key order for determinism.
+func (v *View) ingestEDB(plus, minus map[string]map[string][]uint32) (deltaPlus, deltaMinus map[string]*eval.IRel) {
+	deltaPlus = map[string]*eval.IRel{}
+	deltaMinus = map[string]*eval.IRel{}
+	predSet := map[string]bool{}
+	for pred := range plus {
+		predSet[pred] = true
+	}
+	for pred := range minus {
+		predSet[pred] = true
+	}
+	preds := make([]string, 0, len(predSet))
+	for pred := range predSet {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		ar := v.arity[pred]
+		dm := v.irelFromMap(ar, minus[pred])
+		dpl := v.irelFromMap(ar, plus[pred])
+		if dm.Len() > 0 {
+			v.rels[pred] = v.rebuildExcluding(v.rels[pred], dm)
+		}
+		rel := v.rels[pred]
+		if rel == nil {
+			rel = v.dp.NewIRel(ar)
+			v.rels[pred] = rel
+		}
+		for i := 0; i < dpl.Len(); i++ {
+			rel.Add(dpl.Row(i))
+		}
+		if dm.Len() > 0 {
+			deltaMinus[pred] = dm
+		}
+		if dpl.Len() > 0 {
+			deltaPlus[pred] = dpl
+		}
+	}
+	return deltaPlus, deltaMinus
+}
+
+func (v *View) irelFromMap(arity int, m map[string][]uint32) *eval.IRel {
+	ir := v.dp.NewIRel(arity)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ir.Add(m[k])
+	}
+	return ir
+}
+
+func (v *View) irelFromRows(arity int, rows [][]uint32) *eval.IRel {
+	ir := v.dp.NewIRel(arity)
+	for _, row := range rows {
+		ir.Add(row)
+	}
+	return ir
+}
+
+// rebuildExcluding copies rel minus the dropped rows into a fresh
+// relation. The old object is left untouched for live snapshots.
+func (v *View) rebuildExcluding(rel *eval.IRel, drop *eval.IRel) *eval.IRel {
+	if rel == nil {
+		return v.dp.NewIRel(drop.Arity())
+	}
+	out := v.dp.NewIRel(rel.Arity())
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		if drop.Contains(row) {
+			continue
+		}
+		out.Add(row)
+	}
+	return out
+}
+
+func nonEmpty(ir *eval.IRel) bool { return ir != nil && ir.Len() > 0 }
+
+// strAffected reports whether any rule of the stratum reads a
+// predicate with a pending delta.
+func (v *View) strAffected(st *stratum, deltaPlus, deltaMinus map[string]*eval.IRel) bool {
+	for _, ri := range st.rules {
+		for _, a := range v.prog.Rules[ri].Pos {
+			if nonEmpty(deltaPlus[a.Pred]) || nonEmpty(deltaMinus[a.Pred]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyCounting maintains a non-recursive stratum (one predicate, no
+// self-dependency) by exact finite differencing of derivation counts.
+// For each rule and each subgoal occurrence, the delta join reads
+// post-update state at subgoal positions before the occurrence and
+// pre-update state at positions after it; summed with sign over Δ⁺ and
+// Δ⁻ occurrences, the telescoping enumerates every firing gained or
+// lost exactly once, so the per-tuple counts remain equal to a
+// from-scratch evaluation's and count>0 decides presence.
+func (v *View) applyCounting(ctx context.Context, st *stratum, oldViews map[string]eval.RelView, deltaPlus, deltaMinus map[string]*eval.IRel) error {
+	pred := st.preds[0]
+	cnts := v.counts[pred]
+	touched := map[string][]uint32{}
+	before := map[string]int64{}
+	for _, ri := range st.rules {
+		r := v.prog.Rules[ri]
+		for occ := range r.Pos {
+			q := r.Pos[occ].Pred
+			for _, sd := range [2]struct {
+				sign int64
+				d    *eval.IRel
+			}{{+1, deltaPlus[q]}, {-1, deltaMinus[q]}} {
+				if !nonEmpty(sd.d) {
+					continue
+				}
+				subs := make([]eval.RelView, len(r.Pos))
+				for j, a := range r.Pos {
+					switch {
+					case j == occ:
+						subs[j] = sd.d.View()
+					case j < occ:
+						subs[j] = v.curView(a.Pred)
+					default:
+						subs[j] = oldViews[a.Pred]
+					}
+				}
+				sign := sd.sign
+				probes, err := v.dp.RunDelta(ctx, ri, occ, subs, v.negView, func(h []uint32) error {
+					k := rowKey(h)
+					if _, ok := before[k]; !ok {
+						before[k] = cnts[k]
+						touched[k] = append([]uint32(nil), h...)
+					}
+					cnts[k] += sign
+					return nil
+				})
+				v.stats.DeltaProbes += probes
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	v.stats.DeltaRounds++
+	keys := make([]string, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var addRows, delRows [][]uint32
+	for _, k := range keys {
+		c := cnts[k]
+		if c < 0 {
+			return fmt.Errorf("incr: internal error: negative derivation count for %s", pred)
+		}
+		if c == 0 {
+			delete(cnts, k)
+		}
+		was, is := before[k] > 0, c > 0
+		switch {
+		case was && !is:
+			delRows = append(delRows, touched[k])
+		case !was && is:
+			addRows = append(addRows, touched[k])
+		}
+	}
+	if len(addRows) == 0 && len(delRows) == 0 {
+		return nil
+	}
+	dm := v.irelFromRows(v.arity[pred], delRows)
+	dpl := v.irelFromRows(v.arity[pred], addRows)
+	if dm.Len() > 0 {
+		v.rels[pred] = v.rebuildExcluding(v.rels[pred], dm)
+		deltaMinus[pred] = dm
+	}
+	if dpl.Len() > 0 {
+		rel := v.rels[pred]
+		for i := 0; i < dpl.Len(); i++ {
+			rel.Add(dpl.Row(i))
+		}
+		deltaPlus[pred] = dpl
+	}
+	return nil
+}
+
+// applyDRed maintains a recursive stratum by delete-rederive:
+//
+//  1. Overdelete: propagate the incoming deletions (and then the
+//     intra-stratum overdeletions, round by round) through the
+//     stratum's rules over pre-update state, collecting in D every
+//     tuple with a potentially-lost derivation.
+//  2. Rederive: remove D, then put back every overdeleted tuple still
+//     derivable from surviving state, iterating until no progress
+//     (head-bound derivability plans make each check a join seeded
+//     with the candidate tuple).
+//  3. Insert: semi-naive propagation of the incoming insertions over
+//     post-update state.
+//
+// Soundness of (2): a tuple of old∖D has, by induction on the
+// overdeletion fixpoint, a derivation avoiding every deleted and
+// overdeleted fact; stratum rules are monotone (negation-touched
+// updates never reach DRed), so that derivation survives in the new
+// state. Completeness: any tuple of the new fixpoint not in old∖D is
+// reached by (2)'s progress loop or (3)'s propagation.
+func (v *View) applyDRed(ctx context.Context, st *stratum, oldViews map[string]eval.RelView, deltaPlus, deltaMinus map[string]*eval.IRel) error {
+	newRound := func() map[string]*eval.IRel {
+		m := make(map[string]*eval.IRel, len(st.preds))
+		for _, p := range st.preds {
+			m[p] = v.dp.NewIRel(v.arity[p])
+		}
+		return m
+	}
+	roundTotal := func(m map[string]*eval.IRel) int {
+		n := 0
+		for _, ir := range m {
+			n += ir.Len()
+		}
+		return n
+	}
+
+	// Phase 1: overdelete over pre-update state.
+	D := newRound()
+	round := newRound()
+	emitDel := func(p string) func([]uint32) error {
+		old := oldViews[p]
+		return func(h []uint32) error {
+			if !old.Contains(h) {
+				return nil // a firing that never contributed a tuple
+			}
+			if D[p].Add(h) {
+				round[p].Add(h)
+			}
+			return nil
+		}
+	}
+	oldSubs := func(r ast.Rule, occ int, d *eval.IRel) []eval.RelView {
+		subs := make([]eval.RelView, len(r.Pos))
+		for j, a := range r.Pos {
+			if j == occ {
+				subs[j] = d.View()
+			} else {
+				subs[j] = oldViews[a.Pred]
+			}
+		}
+		return subs
+	}
+	for _, ri := range st.rules {
+		r := v.prog.Rules[ri]
+		for occ, a := range r.Pos {
+			if st.inStr[a.Pred] || !nonEmpty(deltaMinus[a.Pred]) {
+				continue
+			}
+			probes, err := v.dp.RunDelta(ctx, ri, occ, oldSubs(r, occ, deltaMinus[a.Pred]), v.negView, emitDel(r.Head.Pred))
+			v.stats.DeltaProbes += probes
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for roundTotal(round) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v.stats.DeltaRounds++
+		prev := round
+		round = newRound()
+		for _, ri := range st.rules {
+			r := v.prog.Rules[ri]
+			for occ, a := range r.Pos {
+				if !st.inStr[a.Pred] || prev[a.Pred].Len() == 0 {
+					continue
+				}
+				probes, err := v.dp.RunDelta(ctx, ri, occ, oldSubs(r, occ, prev[a.Pred]), v.negView, emitDel(r.Head.Pred))
+				v.stats.DeltaProbes += probes
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Phase 2: remove D, then rederive survivors until a fixpoint.
+	if roundTotal(D) > 0 {
+		for _, p := range st.preds {
+			if D[p].Len() > 0 {
+				v.rels[p] = v.rebuildExcluding(v.rels[p], D[p])
+			}
+		}
+		for {
+			progress := false
+			for _, p := range st.preds {
+				d := D[p]
+				for i := 0; i < d.Len(); i++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					row := d.Row(i)
+					if v.rels[p].Contains(row) {
+						continue
+					}
+					ok, err := v.derivableAny(ctx, p, row)
+					if err != nil {
+						return err
+					}
+					if ok {
+						v.rels[p].Add(row)
+						progress = true
+					}
+				}
+			}
+			if !progress {
+				break
+			}
+			v.stats.DeltaRounds++
+		}
+	}
+
+	// Phase 3: semi-naive insertion over post-update state. Side views
+	// are frozen per RunDelta call; everything emitted lands in the
+	// next round's delta, so nothing is missed.
+	ins := newRound()
+	round = newRound()
+	emitIns := func(p string) func([]uint32) error {
+		return func(h []uint32) error {
+			if v.rels[p].Add(h) {
+				round[p].Add(h)
+				ins[p].Add(h)
+			}
+			return nil
+		}
+	}
+	curSubs := func(r ast.Rule, occ int, d *eval.IRel) []eval.RelView {
+		subs := make([]eval.RelView, len(r.Pos))
+		for j, a := range r.Pos {
+			if j == occ {
+				subs[j] = d.View()
+			} else {
+				subs[j] = v.curView(a.Pred)
+			}
+		}
+		return subs
+	}
+	for _, ri := range st.rules {
+		r := v.prog.Rules[ri]
+		for occ, a := range r.Pos {
+			if st.inStr[a.Pred] || !nonEmpty(deltaPlus[a.Pred]) {
+				continue
+			}
+			probes, err := v.dp.RunDelta(ctx, ri, occ, curSubs(r, occ, deltaPlus[a.Pred]), v.negView, emitIns(r.Head.Pred))
+			v.stats.DeltaProbes += probes
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for roundTotal(round) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v.stats.DeltaRounds++
+		prev := round
+		round = newRound()
+		for _, ri := range st.rules {
+			r := v.prog.Rules[ri]
+			for occ, a := range r.Pos {
+				if !st.inStr[a.Pred] || prev[a.Pred].Len() == 0 {
+					continue
+				}
+				probes, err := v.dp.RunDelta(ctx, ri, occ, curSubs(r, occ, prev[a.Pred]), v.negView, emitIns(r.Head.Pred))
+				v.stats.DeltaProbes += probes
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Net deltas: deletions of D that stayed out, insertions that were
+	// not present before. A tuple overdeleted and then re-derived by
+	// phase 3 cancels out in both directions.
+	for _, p := range st.preds {
+		var netMinus, netPlus [][]uint32
+		d := D[p]
+		for i := 0; i < d.Len(); i++ {
+			if !v.rels[p].Contains(d.Row(i)) {
+				netMinus = append(netMinus, d.Row(i))
+			}
+		}
+		in, old := ins[p], oldViews[p]
+		for i := 0; i < in.Len(); i++ {
+			if !old.Contains(in.Row(i)) {
+				netPlus = append(netPlus, in.Row(i))
+			}
+		}
+		if len(netMinus) > 0 {
+			deltaMinus[p] = v.irelFromRows(v.arity[p], netMinus)
+		}
+		if len(netPlus) > 0 {
+			deltaPlus[p] = v.irelFromRows(v.arity[p], netPlus)
+		}
+	}
+	return nil
+}
+
+// derivableAny reports whether some rule for pred can fire with its
+// head bound to row over current state.
+func (v *View) derivableAny(ctx context.Context, pred string, row []uint32) (bool, error) {
+	for _, ri := range v.rulesFor[pred] {
+		r := v.prog.Rules[ri]
+		subs := make([]eval.RelView, len(r.Pos))
+		for j, a := range r.Pos {
+			subs[j] = v.curView(a.Pred)
+		}
+		ok, probes, err := v.dp.Derivable(ctx, ri, row, subs, v.negView)
+		v.stats.RederiveChecks++
+		v.stats.DeltaProbes += probes
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// fullRebuild ingests the EDB deltas and recomputes every derived
+// relation from scratch. It is the fallback for updates touching
+// negated predicates and the repair path for broken views; Changes are
+// diffed against the last state the caller observed.
+func (v *View) fullRebuild(ctx context.Context, plus, minus map[string]map[string][]uint32) (Changes, error) {
+	prevQ := v.lastGood
+	if !v.broken {
+		prevQ = v.curView(v.prog.Query)
+	}
+	v.ingestEDB(plus, minus)
+	v.stats.FullRebuilds++
+	if err := v.rebuildIDB(ctx); err != nil {
+		v.broken = true
+		v.lastGood = prevQ
+		return Changes{}, err
+	}
+	v.broken = false
+	v.lastGood = eval.RelView{}
+	v.version++
+	v.stats.Applies++
+
+	ch := Changes{}
+	newQ := v.curView(v.prog.Query)
+	var added, removed [][]uint32
+	for i := 0; i < newQ.Len(); i++ {
+		if !prevQ.Contains(newQ.Row(i)) {
+			added = append(added, newQ.Row(i))
+		}
+	}
+	for i := 0; i < prevQ.Len(); i++ {
+		if !newQ.Contains(prevQ.Row(i)) {
+			removed = append(removed, prevQ.Row(i))
+		}
+	}
+	if len(added) > 0 {
+		ch.Added = v.externSorted(v.irelFromRows(newQ.Rel.Arity(), added).View())
+		v.stats.TuplesAdded += int64(len(added))
+	}
+	if len(removed) > 0 {
+		ch.Removed = v.externSorted(v.irelFromRows(prevQ.Rel.Arity(), removed).View())
+		v.stats.TuplesRemoved += int64(len(removed))
+	}
+	return ch, nil
+}
+
+// repairLocked rebuilds a broken view in place (no-op when consistent).
+// Read paths call it so a failed Apply can never surface stale answers.
+func (v *View) repairLocked(ctx context.Context) error {
+	if !v.broken {
+		return nil
+	}
+	v.stats.FullRebuilds++
+	if err := v.rebuildIDB(ctx); err != nil {
+		return err
+	}
+	v.broken = false
+	v.lastGood = eval.RelView{}
+	v.version++
+	return nil
+}

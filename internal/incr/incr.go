@@ -1,0 +1,498 @@
+// Package incr maintains materialized datalog views incrementally.
+//
+// Materialize evaluates a program once and keeps the result live:
+// View.Apply takes a batch of EDB fact insertions and retractions and
+// updates every derived relation by propagating deltas instead of
+// re-running the fixpoint — counting for non-recursive strata, DRed
+// (delete-rederive) for recursive ones — reusing the compiled join
+// plans of internal/eval through its exported delta surface
+// (eval.DeltaProgram). This serves the workload shape the paper
+// assumes: the semantic rewrite is computed once and stays valid as
+// the EDB changes, so the expensive static side (rewriting) and the
+// expensive dynamic side (re-evaluation) are both amortized.
+//
+// Algorithms:
+//
+//   - Non-recursive strata (single predicate, no self-dependency)
+//     maintain an exact derivation count per tuple via finite
+//     differencing: for each rule and each subgoal occurrence, the
+//     delta join New_{<occ} ⋈ Δ_occ ⋈ Old_{>occ} (subgoal positions
+//     before occ read post-update state, positions after read
+//     pre-update state) enumerates precisely the firings gained or
+//     lost, so count>0 is presence and counts match a from-scratch
+//     evaluation exactly.
+//
+//   - Recursive strata use DRed: (1) overdelete — propagate deletions
+//     through the stratum's rules over pre-update state, collecting
+//     every tuple with a potentially-lost derivation; (2) rederive —
+//     put back overdeleted tuples still derivable from the surviving
+//     state, using head-bound derivability plans (eval.Derivable)
+//     seeded with the candidate tuple; (3) insert — semi-naive
+//     propagation of the gained tuples.
+//
+// Updates that touch a negated predicate fall back to a full rebuild
+// (counting/DRed as implemented assume the delta rules are monotone;
+// negation is EDB-only and rare in rewritten programs). A failed or
+// cancelled Apply leaves the view marked broken with its EDB already
+// final; the next operation repairs it by rebuilding, so no sequence
+// of failures can produce wrong answers — only retried work.
+package incr
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+)
+
+// Options configures Materialize.
+type Options struct {
+	// MaxTuples bounds the number of IDB tuples materialized during the
+	// initial fixpoint and any full rebuild (0 = unlimited). Exceeding
+	// it returns an error wrapping eval.ErrBudget.
+	MaxTuples int64
+}
+
+// Stats reports the cumulative work a view has done. Delta passes
+// account join probes through the same counter semantics as
+// eval.Stats.JoinProbes, which is what makes incremental and full runs
+// comparable in sqobench.
+type Stats struct {
+	InitRounds     int   // fixpoint rounds during Materialize
+	InitTuples     int64 // IDB tuples derived during Materialize
+	InitProbes     int64 // join probes during Materialize
+	Applies        int64 // Apply calls that completed successfully
+	FullRebuilds   int64 // applies (or repairs) that recomputed from scratch
+	DeltaRounds    int64 // delta propagation rounds across all applies
+	DeltaProbes    int64 // join probes across all delta passes
+	RederiveChecks int64 // head-bound derivability checks (DRed phase 2)
+	TuplesAdded    int64 // net answers added to the query predicate across applies
+	TuplesRemoved  int64 // net answers removed from the query predicate across applies
+}
+
+// Changes reports the net effect of one Apply on the query predicate:
+// answers that appeared and answers that disappeared, each sorted by
+// canonical tuple key.
+type Changes struct {
+	Added   []eval.Tuple
+	Removed []eval.Tuple
+}
+
+// View is a materialized program kept consistent with a mutable EDB.
+// All methods are safe for concurrent use; writes serialize.
+type View struct {
+	mu    sync.Mutex
+	prog  *ast.Program
+	dp    *eval.DeltaProgram
+	idbPr map[string]bool
+	arity map[string]int
+	// negPreds are the (EDB) predicates appearing under negation;
+	// updates touching them force a full rebuild.
+	negPreds map[string]bool
+	strata   []stratum
+	rulesFor map[string][]int
+	// rels holds the current version of every predicate, EDB and IDB,
+	// as append-only interned relations. A predicate that loses tuples
+	// gets a rebuilt relation; old RelView snapshots keep the previous
+	// object alive and unchanged.
+	rels map[string]*eval.IRel
+	// counts maps, for each counting-maintained predicate, packed row
+	// key → exact number of derivations.
+	counts map[string]map[string]int64
+	opts   Options
+	stats  Stats
+	// broken is set when an Apply fails after the EDB was updated: the
+	// IDB is stale and the next operation must rebuild. The EDB irels
+	// are always final for every successfully-ingested delta.
+	broken bool
+	// lastGood snapshots the query relation as of the last consistent
+	// state, so the repairing Apply can report Changes relative to what
+	// the caller last saw. Only set while broken.
+	lastGood eval.RelView
+	version  int64
+	// Lazy provenance cache (see Explain).
+	provVersion int64
+	provDB      *eval.DB
+	prov        *eval.Provenance
+}
+
+// Materialize evaluates p over edb and returns a live view.
+func Materialize(p *ast.Program, edb *eval.DB, opts Options) (*View, error) {
+	return MaterializeCtx(context.Background(), p, edb, opts)
+}
+
+// MaterializeCtx is Materialize under a context (checked at round
+// barriers and inside long joins).
+func MaterializeCtx(ctx context.Context, p *ast.Program, edb *eval.DB, opts Options) (*View, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dp, err := eval.CompileDeltaProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	arity, err := p.PredArity()
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		prog:     p,
+		dp:       dp,
+		idbPr:    p.IDB(),
+		arity:    arity,
+		negPreds: map[string]bool{},
+		rulesFor: map[string][]int{},
+		rels:     map[string]*eval.IRel{},
+		counts:   map[string]map[string]int64{},
+		opts:     opts,
+	}
+	for i, r := range p.Rules {
+		v.rulesFor[r.Head.Pred] = append(v.rulesFor[r.Head.Pred], i)
+		for _, a := range r.Neg {
+			v.negPreds[a.Pred] = true
+		}
+	}
+	v.strata = buildStrata(p)
+	// Intern the EDB in sorted-predicate order (deterministic ids).
+	preds := make([]string, 0, len(arity))
+	for pred := range arity {
+		if !v.idbPr[pred] {
+			preds = append(preds, pred)
+		}
+	}
+	sort.Strings(preds)
+	var buf []uint32
+	for _, pred := range preds {
+		rel := edb.Lookup(pred)
+		if rel == nil {
+			continue
+		}
+		ir := dp.NewIRel(arity[pred])
+		for _, t := range rel.Tuples() {
+			buf, err = dp.InternFact(pred, t, buf[:0])
+			if err != nil {
+				return nil, err
+			}
+			ir.Add(buf)
+		}
+		v.rels[pred] = ir
+	}
+	if err := v.rebuildIDB(ctx); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// rebuildIDB recomputes every IDB relation and derivation count from
+// the view's current EDB irels: fresh empty IDB relations, a
+// single-writer semi-naive fixpoint through the delta plans, then one
+// full-join pass per counting rule to establish counts. Callers hold
+// v.mu (or own the view exclusively, as Materialize does).
+func (v *View) rebuildIDB(ctx context.Context) error {
+	for pred := range v.idbPr {
+		v.rels[pred] = v.dp.NewIRel(v.arity[pred])
+	}
+	v.counts = map[string]map[string]int64{}
+	if err := v.initFixpoint(ctx); err != nil {
+		return err
+	}
+	return v.initCounts(ctx)
+}
+
+// initFixpoint mirrors the engine's semi-naive schedule (init rules at
+// round 0 with the full join, then delta-restricted IDB occurrences)
+// over the view's relations. Emission appends to the same relations
+// being read; the round-start snapshots (RelView prefixes) freeze what
+// each task sees, which is exactly the engine's frozen-snapshot
+// semantics with in-place merge.
+func (v *View) initFixpoint(ctx context.Context) error {
+	delta := map[string]*eval.IRel{}
+	var derived int64
+	emit := func(pred string) func([]uint32) error {
+		rel := v.rels[pred]
+		return func(row []uint32) error {
+			if !rel.Add(row) {
+				return nil
+			}
+			derived++
+			if v.opts.MaxTuples > 0 && derived > v.opts.MaxTuples {
+				return fmt.Errorf("incr: %w (budget %d)", eval.ErrBudget, v.opts.MaxTuples)
+			}
+			delta[pred].Add(row)
+			return nil
+		}
+	}
+	newDelta := func() {
+		for pred := range v.idbPr {
+			delta[pred] = v.dp.NewIRel(v.arity[pred])
+		}
+	}
+	snapshot := func() map[string]eval.RelView {
+		views := make(map[string]eval.RelView, len(v.rels))
+		for pred, rel := range v.rels {
+			views[pred] = rel.View()
+		}
+		return views
+	}
+
+	newDelta()
+	v.stats.InitRounds++
+	views := snapshot()
+	for ri, r := range v.prog.Rules {
+		if !r.IsInit(v.idbPr) {
+			continue
+		}
+		probes, err := v.dp.RunDelta(ctx, ri, -1, v.subViews(r, -1, nil, views), v.negView, emit(r.Head.Pred))
+		v.stats.InitProbes += probes
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		total := 0
+		for _, d := range delta {
+			total += d.Len()
+		}
+		if total == 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		prevDelta := delta
+		delta = map[string]*eval.IRel{}
+		newDelta()
+		v.stats.InitRounds++
+		views = snapshot()
+		for ri, r := range v.prog.Rules {
+			for occ, a := range r.Pos {
+				if !v.idbPr[a.Pred] {
+					continue
+				}
+				pd := prevDelta[a.Pred]
+				if pd == nil || pd.Len() == 0 {
+					continue
+				}
+				probes, err := v.dp.RunDelta(ctx, ri, occ, v.subViews(r, occ, pd, views), v.negView, emit(r.Head.Pred))
+				v.stats.InitProbes += probes
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	v.stats.InitTuples += derived
+	return nil
+}
+
+// initCounts establishes exact derivation counts for every
+// counting-maintained predicate by enumerating all firings of its
+// rules over the final relations.
+func (v *View) initCounts(ctx context.Context) error {
+	for _, st := range v.strata {
+		if st.recursive {
+			continue
+		}
+		pred := st.preds[0]
+		cnts := map[string]int64{}
+		v.counts[pred] = cnts
+		for _, ri := range st.rules {
+			r := v.prog.Rules[ri]
+			probes, err := v.dp.RunDelta(ctx, ri, -1, v.subViews(r, -1, nil, nil), v.negView, func(row []uint32) error {
+				cnts[rowKey(row)]++
+				return nil
+			})
+			v.stats.InitProbes += probes
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// subViews assembles the per-subgoal views for one RunDelta call:
+// subgoal occ reads the delta relation, every other subgoal reads
+// views[pred] when views is non-nil (a frozen snapshot) or the current
+// full relation otherwise.
+func (v *View) subViews(r ast.Rule, occ int, delta *eval.IRel, views map[string]eval.RelView) []eval.RelView {
+	subs := make([]eval.RelView, len(r.Pos))
+	for j, a := range r.Pos {
+		switch {
+		case j == occ:
+			subs[j] = delta.View()
+		case views != nil:
+			subs[j] = views[a.Pred]
+		default:
+			subs[j] = v.curView(a.Pred)
+		}
+	}
+	return subs
+}
+
+// curView returns the current full view of a predicate (empty when the
+// predicate has no relation yet).
+func (v *View) curView(pred string) eval.RelView {
+	return v.rels[pred].View() // nil receiver yields the empty view
+}
+
+// negView resolves negated subgoals against current state. Negation is
+// EDB-only (enforced by Validate), and updates that touch a negated
+// predicate never reach a delta pass (full-rebuild fallback), so
+// current state equals pre-update state wherever this is called.
+func (v *View) negView(pred string) eval.RelView { return v.curView(pred) }
+
+// Program returns the materialized program.
+func (v *View) Program() *ast.Program { return v.prog }
+
+// Stats returns a snapshot of the view's cumulative counters.
+func (v *View) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// Answers returns the query predicate's current tuples sorted by
+// canonical key, repairing the view first if a previous Apply failed
+// midway. The error is non-nil only when that repair itself fails.
+func (v *View) Answers() ([]eval.Tuple, error) {
+	return v.FactsOf(v.prog.Query)
+}
+
+// FactsOf returns any predicate's current tuples sorted by canonical
+// key (EDB predicates reflect every ingested delta).
+func (v *View) FactsOf(pred string) ([]eval.Tuple, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.repairLocked(context.Background()); err != nil {
+		return nil, err
+	}
+	return v.externSorted(v.curView(pred)), nil
+}
+
+// Count returns the exact number of derivations of a ground fact, for
+// predicates maintained by counting (non-recursive strata). ok is
+// false for DRed-maintained, EDB, or unknown predicates.
+func (v *View) Count(fact ast.Atom) (n int64, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.repairLocked(context.Background()); err != nil {
+		return 0, false
+	}
+	cnts, ok := v.counts[fact.Pred]
+	if !ok {
+		return 0, false
+	}
+	row, err := v.dp.InternFact(fact.Pred, fact.Args, nil)
+	if err != nil {
+		return 0, false
+	}
+	return cnts[rowKey(row)], true
+}
+
+// DerivationCounts returns fact-string → derivation count for a
+// counting-maintained predicate (nil otherwise). The rendering uses
+// the same source syntax as ast.Atom.String, so two views over equal
+// EDBs return deeply-equal maps.
+func (v *View) DerivationCounts(pred string) map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.repairLocked(context.Background()); err != nil {
+		return nil
+	}
+	cnts, ok := v.counts[pred]
+	if !ok {
+		return nil
+	}
+	rel := v.rels[pred]
+	out := make(map[string]int64, len(cnts))
+	if rel == nil {
+		return out
+	}
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		if c := cnts[rowKey(row)]; c > 0 {
+			out[v.dp.Atom(pred, row).String()] = c
+		}
+	}
+	return out
+}
+
+// Explain returns the derivation tree of a current IDB fact. The tree
+// is recomputed canonically from the view's current EDB (and cached
+// until the next successful Apply), so it is bit-identical to what a
+// from-scratch evaluation of the same EDB would explain — including
+// after any sequence of adds and retracts.
+func (v *View) Explain(fact ast.Atom) (*eval.Derivation, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.repairLocked(context.Background()); err != nil {
+		return nil, err
+	}
+	if v.prov == nil || v.provVersion != v.version {
+		db := v.edbMirror()
+		_, prov, _, err := eval.EvalProv(v.prog, db)
+		if err != nil {
+			return nil, err
+		}
+		v.provDB, v.prov, v.provVersion = db, prov, v.version
+	}
+	return v.prov.Tree(fact, v.idbPr, v.provDB)
+}
+
+// EDB returns a fresh public DB mirroring the view's current EDB.
+func (v *View) EDB() *eval.DB {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.edbMirror()
+}
+
+// edbMirror snapshots the current EDB as a public DB with every
+// relation in canonical (key-sorted) tuple order. Sorting matters for
+// Explain: the derivation recorded for a fact is the first one found,
+// which follows relation iteration order, so a canonical order makes
+// the tree independent of the view's update history — the same tree a
+// from-scratch evaluation of a key-sorted load of the same facts
+// explains.
+func (v *View) edbMirror() *eval.DB {
+	db := eval.NewDB()
+	for pred, rel := range v.rels {
+		if v.idbPr[pred] {
+			continue
+		}
+		r := db.Rel(pred, rel.Arity())
+		tuples := make([]eval.Tuple, 0, rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			tuples = append(tuples, v.dp.Tuple(rel.Row(i)))
+		}
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
+		for _, t := range tuples {
+			r.Add(t)
+		}
+	}
+	return db
+}
+
+// externSorted converts a view's rows to public tuples sorted by
+// canonical key.
+func (v *View) externSorted(view eval.RelView) []eval.Tuple {
+	out := make([]eval.Tuple, 0, view.Len())
+	for i := 0; i < view.Len(); i++ {
+		out = append(out, v.dp.Tuple(view.Row(i)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// rowKey packs an interned row into a string map key.
+func rowKey(row []uint32) string {
+	b := make([]byte, len(row)*4)
+	for i, x := range row {
+		binary.LittleEndian.PutUint32(b[i*4:], x)
+	}
+	return string(b)
+}

@@ -1,0 +1,533 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+// --- helpers ---------------------------------------------------------------
+
+// factSet is the reference EDB: canonical key → atom. Batches apply
+// with delete-then-insert semantics, mirroring View.Apply.
+type factSet map[string]ast.Atom
+
+func (fs factSet) apply(adds, dels []ast.Atom) {
+	for _, a := range dels {
+		delete(fs, a.Key())
+	}
+	for _, a := range adds {
+		fs[a.Key()] = a
+	}
+}
+
+func (fs factSet) db() *eval.DB {
+	db := eval.NewDB()
+	keys := make([]string, 0, len(fs))
+	for k := range fs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		db.AddFact(fs[k])
+	}
+	return db
+}
+
+func renderTuples(pred string, ts []eval.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = ast.NewAtom(pred, t...).String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func viewFacts(t *testing.T, v *View, pred string) []string {
+	t.Helper()
+	ts, err := v.FactsOf(pred)
+	if err != nil {
+		t.Fatalf("FactsOf(%s): %v", pred, err)
+	}
+	return renderTuples(pred, ts)
+}
+
+// requireConsistent checks the view against from-scratch evaluation of
+// the reference EDB under both engines × workers {1,4}: every IDB
+// relation must be identical.
+func requireConsistent(t *testing.T, label string, v *View, p *ast.Program, fs factSet) {
+	t.Helper()
+	db := fs.db()
+	for _, compiled := range []bool{false, true} {
+		for _, w := range []int{1, 4} {
+			opts := eval.Options{Seminaive: true, UseIndex: true, CompilePlans: compiled, Workers: w}
+			idb, _, err := eval.EvalCtx(context.Background(), p, db, opts)
+			if err != nil {
+				t.Fatalf("%s: eval(compiled=%v workers=%d): %v", label, compiled, w, err)
+			}
+			for pred := range p.IDB() {
+				want := idb.SortedFacts(pred)
+				got := viewFacts(t, v, pred)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: %s diverged (compiled=%v workers=%d):\nview %v\nfull %v",
+						label, pred, compiled, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// requireFreshEqual checks the view against a fresh Materialize over
+// the same EDB: derivation counts of every counting-maintained
+// predicate and the provenance of every query answer must match.
+func requireFreshEqual(t *testing.T, label string, v *View, p *ast.Program, fs factSet) {
+	t.Helper()
+	fresh, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatalf("%s: fresh Materialize: %v", label, err)
+	}
+	for pred := range p.IDB() {
+		got, want := v.DerivationCounts(pred), fresh.DerivationCounts(pred)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("%s: %s counting-maintained disagreement: view=%v fresh=%v", label, pred, got != nil, want != nil)
+		}
+		if got != nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: %s derivation counts diverged:\nview  %v\nfresh %v", label, pred, got, want)
+		}
+	}
+	answers, err := fresh.Answers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tup := range answers {
+		if i >= 3 {
+			break // provenance recomputation is the expensive part
+		}
+		fact := ast.NewAtom(p.Query, tup...)
+		dv, err := v.Explain(fact)
+		if err != nil {
+			t.Fatalf("%s: view Explain(%s): %v", label, fact, err)
+		}
+		df, err := fresh.Explain(fact)
+		if err != nil {
+			t.Fatalf("%s: fresh Explain(%s): %v", label, fact, err)
+		}
+		if dv.String() != df.String() {
+			t.Fatalf("%s: provenance of %s diverged:\nview  %s\nfresh %s", label, fact, dv, df)
+		}
+	}
+}
+
+func answersOf(t *testing.T, v *View) []string {
+	t.Helper()
+	ts, err := v.Answers()
+	if err != nil {
+		t.Fatalf("Answers: %v", err)
+	}
+	return renderTuples(v.Program().Query, ts)
+}
+
+// equalSets compares two string slices as sets-with-order, treating
+// nil and empty as equal (diffStrings returns nil when nothing
+// changed; renderTuples returns empty).
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func diffStrings(old, new []string) (added, removed []string) {
+	oldSet := map[string]bool{}
+	for _, s := range old {
+		oldSet[s] = true
+	}
+	newSet := map[string]bool{}
+	for _, s := range new {
+		newSet[s] = true
+		if !oldSet[s] {
+			added = append(added, s)
+		}
+	}
+	for _, s := range old {
+		if !newSet[s] {
+			removed = append(removed, s)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// --- directed examples -----------------------------------------------------
+
+// TestIncrCountingBasic exercises count maintenance on a predicate
+// with overlapping derivations (two rules, shared support): deleting
+// one support must not retract a tuple that keeps another derivation.
+func TestIncrCountingBasic(t *testing.T) {
+	p := parser.MustParseProgram(`
+		can(X) :- badge(X).
+		can(X) :- keycode(X).
+		enter(X) :- can(X), door(X).
+		?- enter.`)
+	fs := factSet{}
+	fs.apply(parser.MustParseFacts(`badge(1). keycode(1). badge(2). door(1). door(2).`), nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireConsistent(t, "init", v, p, fs)
+	if n, ok := v.Count(parser.MustParseFacts(`can(1).`)[0]); !ok || n != 2 {
+		t.Fatalf("can(1) count = %d, %v; want 2, true", n, ok)
+	}
+
+	// Losing the badge keeps can(1) alive through the keycode.
+	dels := parser.MustParseFacts(`badge(1).`)
+	ch, err := v.Apply(nil, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.apply(nil, dels)
+	requireConsistent(t, "del badge(1)", v, p, fs)
+	if len(ch.Added) != 0 || len(ch.Removed) != 0 {
+		t.Fatalf("unexpected answer changes: %+v", ch)
+	}
+	if n, _ := v.Count(parser.MustParseFacts(`can(1).`)[0]); n != 1 {
+		t.Fatalf("can(1) count = %d; want 1", n)
+	}
+
+	// Losing the keycode too retracts can(1) and the answer enter(1).
+	dels = parser.MustParseFacts(`keycode(1).`)
+	ch, err = v.Apply(nil, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.apply(nil, dels)
+	requireConsistent(t, "del keycode(1)", v, p, fs)
+	if len(ch.Removed) != 1 || ast.NewAtom("enter", ch.Removed[0]...).String() != "enter(1)" {
+		t.Fatalf("want enter(1) removed, got %+v", ch)
+	}
+	requireFreshEqual(t, "final", v, p, fs)
+}
+
+// TestIncrDRedKillAndRederive is the acceptance scenario spelled out:
+// retract a fact that kills a recursive tuple's only used derivation
+// while an alternative path keeps it alive (rederive), then retract
+// the alternative (true deletion), then re-add (re-derivation).
+func TestIncrDRedKillAndRederive(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		?- path.`)
+	fs := factSet{}
+	fs.apply(parser.MustParseFacts(`edge(1, 2). edge(2, 3). edge(1, 4). edge(4, 3). edge(3, 5).`), nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireConsistent(t, "init", v, p, fs)
+
+	step := func(label, addSrc, delSrc string, wantAdded, wantRemoved []string) {
+		t.Helper()
+		adds, dels := parser.MustParseFacts(addSrc), parser.MustParseFacts(delSrc)
+		before := answersOf(t, v)
+		ch, err := v.Apply(adds, dels)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		fs.apply(adds, dels)
+		requireConsistent(t, label, v, p, fs)
+		after := answersOf(t, v)
+		added, removed := diffStrings(before, after)
+		if !equalSets(added, renderTuples("path", ch.Added)) ||
+			!equalSets(removed, renderTuples("path", ch.Removed)) {
+			t.Fatalf("%s: Changes disagree with actual diff:\nchanges +%v -%v\ndiff    +%v -%v",
+				label, renderTuples("path", ch.Added), renderTuples("path", ch.Removed), added, removed)
+		}
+		if !equalSets(added, wantAdded) {
+			t.Fatalf("%s: added %v, want %v", label, added, wantAdded)
+		}
+		if !equalSets(removed, wantRemoved) {
+			t.Fatalf("%s: removed %v, want %v", label, removed, wantRemoved)
+		}
+	}
+
+	// path(1,3), path(1,5) survive via 1→4→3: overdeleted, rederived.
+	step("kill-and-rederive", ``, `edge(1, 2).`, []string{}, []string{"path(1, 2)"})
+	// Now the alternative dies too: the whole 1→… cone goes.
+	step("true-delete", ``, `edge(1, 4).`, []string{}, []string{"path(1, 3)", "path(1, 4)", "path(1, 5)"})
+	// Re-adding re-derives the recursive tuples.
+	step("re-derive", `edge(1, 2).`, ``, []string{"path(1, 2)", "path(1, 3)", "path(1, 5)"}, []string{})
+	// Delete and re-add the same fact in one batch: net no-op.
+	step("delete-then-insert", `edge(2, 3).`, `edge(2, 3).`, []string{}, []string{})
+	requireFreshEqual(t, "final", v, p, fs)
+}
+
+// TestIncrNegationFallback: updates touching a negated predicate take
+// the full-rebuild path and still converge to the right answers.
+func TestIncrNegationFallback(t *testing.T) {
+	p := parser.MustParseProgram(`
+		reach(X) :- node(X), !blocked(X).
+		?- reach.`)
+	fs := factSet{}
+	fs.apply(parser.MustParseFacts(`node(1). node(2). blocked(2).`), nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := parser.MustParseFacts(`blocked(1).`)
+	if _, err := v.Apply(adds, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.apply(adds, nil)
+	requireConsistent(t, "block 1", v, p, fs)
+	dels := parser.MustParseFacts(`blocked(2).`)
+	if _, err := v.Apply(nil, dels); err != nil {
+		t.Fatal(err)
+	}
+	fs.apply(nil, dels)
+	requireConsistent(t, "unblock 2", v, p, fs)
+	if st := v.Stats(); st.FullRebuilds != 2 {
+		t.Fatalf("FullRebuilds = %d, want 2", st.FullRebuilds)
+	}
+}
+
+// TestIncrApplyCancellationRepairs: a cancelled Apply reports the
+// context error and leaves the view broken; the next read repairs it
+// to exactly the post-update state.
+func TestIncrApplyCancellationRepairs(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		?- path.`)
+	fs := factSet{}
+	var facts []ast.Atom
+	for i := 0; i < 40; i++ {
+		facts = append(facts, ast.NewAtom("edge", ast.N(float64(i)), ast.N(float64(i+1))))
+	}
+	fs.apply(facts, nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	adds := parser.MustParseFacts(`edge(100, 0).`)
+	if _, err := v.ApplyCtx(ctx, adds, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyCtx error = %v, want context.Canceled", err)
+	}
+	// The EDB delta was ingested; the repair must fold it in.
+	fs.apply(adds, nil)
+	requireConsistent(t, "after repair", v, p, fs)
+	if st := v.Stats(); st.FullRebuilds == 0 {
+		t.Fatal("expected a repairing full rebuild")
+	}
+}
+
+// TestIncrBudget: the materialization budget propagates eval.ErrBudget.
+func TestIncrBudget(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		?- path.`)
+	fs := factSet{}
+	var facts []ast.Atom
+	for i := 0; i < 20; i++ {
+		facts = append(facts, ast.NewAtom("edge", ast.N(float64(i)), ast.N(float64(i+1))))
+	}
+	fs.apply(facts, nil)
+	if _, err := Materialize(p, fs.db(), Options{MaxTuples: 5}); !errors.Is(err, eval.ErrBudget) {
+		t.Fatalf("Materialize error = %v, want eval.ErrBudget", err)
+	}
+}
+
+// TestIncrRejectsIDBUpdate: derived predicates cannot be mutated.
+func TestIncrRejectsIDBUpdate(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- edge(X, Y).
+		?- path.`)
+	v, err := Materialize(p, eval.NewDB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply(parser.MustParseFacts(`path(1, 2).`), nil); err == nil {
+		t.Fatal("want error updating a derived predicate")
+	}
+}
+
+// --- randomized differential -----------------------------------------------
+
+// incrProgram is one randomized-differential subject: a program plus
+// the EDB predicates (with arities) updates draw from.
+type incrProgram struct {
+	name string
+	src  string
+	edb  map[string]int
+	dom  int // constants range over [0, dom)
+}
+
+var incrPrograms = []incrProgram{
+	{
+		name: "transitive-closure",
+		src: `path(X, Y) :- edge(X, Y).
+		      path(X, Y) :- edge(X, Z), path(Z, Y).
+		      ?- path.`,
+		edb: map[string]int{"edge": 2},
+		dom: 6,
+	},
+	{
+		name: "layered-counting",
+		src: `link(X, Y) :- edge(X, Y).
+		      link(X, Y) :- edge(Y, X).
+		      tri(X, Z) :- link(X, Y), link(Y, Z), X != Z.
+		      out(X) :- tri(X, Y), good(Y).
+		      ?- out.`,
+		edb: map[string]int{"edge": 2, "good": 1},
+		dom: 5,
+	},
+	{
+		name: "mutual-recursion",
+		src: `even(X) :- zero(X).
+		      even(Y) :- odd(X), succ(X, Y).
+		      odd(Y) :- even(X), succ(X, Y).
+		      ?- even.`,
+		edb: map[string]int{"zero": 1, "succ": 2},
+		dom: 6,
+	},
+	{
+		name: "guarded-recursion",
+		src: `reach(X) :- start(X).
+		      reach(Y) :- reach(X), edge(X, Y), Y < 4.
+		      big(X) :- reach(X), bonus(X).
+		      ?- big.`,
+		edb: map[string]int{"start": 1, "edge": 2, "bonus": 1},
+		dom: 6,
+	},
+}
+
+func (pc incrProgram) universe() []ast.Atom {
+	var out []ast.Atom
+	preds := make([]string, 0, len(pc.edb))
+	for pred := range pc.edb {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		switch pc.edb[pred] {
+		case 1:
+			for i := 0; i < pc.dom; i++ {
+				out = append(out, ast.NewAtom(pred, ast.N(float64(i))))
+			}
+		case 2:
+			for i := 0; i < pc.dom; i++ {
+				for j := 0; j < pc.dom; j++ {
+					out = append(out, ast.NewAtom(pred, ast.N(float64(i)), ast.N(float64(j))))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestIncrRandomizedDifferential is the main correctness gate (also
+// run under -race by `make incr-smoke`): randomized add/retract
+// sequences over several program shapes, checking after every batch
+// that the view matches from-scratch evaluation under both engines ×
+// workers {1,4}, that reported Changes equal the actual answer diff,
+// and (periodically) that derivation counts and provenance match a
+// fresh Materialize.
+func TestIncrRandomizedDifferential(t *testing.T) {
+	for _, pc := range incrPrograms {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			p := parser.MustParseProgram(pc.src)
+			universe := pc.universe()
+			for trial := 0; trial < 4; trial++ {
+				rng := rand.New(rand.NewSource(int64(1 + trial)))
+				fs := factSet{}
+				var seed []ast.Atom
+				for _, a := range universe {
+					if rng.Intn(3) == 0 {
+						seed = append(seed, a)
+					}
+				}
+				fs.apply(seed, nil)
+				v, err := Materialize(p, fs.db(), Options{})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				requireConsistent(t, fmt.Sprintf("trial %d init", trial), v, p, fs)
+				for step := 0; step < 8; step++ {
+					label := fmt.Sprintf("trial %d step %d", trial, step)
+					var adds, dels []ast.Atom
+					for n := rng.Intn(4); n > 0; n-- {
+						adds = append(adds, universe[rng.Intn(len(universe))])
+					}
+					for n := rng.Intn(4); n > 0; n-- {
+						dels = append(dels, universe[rng.Intn(len(universe))])
+					}
+					if rng.Intn(3) == 0 && len(adds) > 0 {
+						dels = append(dels, adds[0]) // delete-then-insert overlap
+					}
+					before := answersOf(t, v)
+					ch, err := v.Apply(adds, dels)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					fs.apply(adds, dels)
+					requireConsistent(t, label, v, p, fs)
+					after := answersOf(t, v)
+					wantAdded, wantRemoved := diffStrings(before, after)
+					if !equalSets(renderTuples(p.Query, ch.Added), wantAdded) {
+						t.Fatalf("%s: Changes.Added %v, want %v", label, renderTuples(p.Query, ch.Added), wantAdded)
+					}
+					if !equalSets(renderTuples(p.Query, ch.Removed), wantRemoved) {
+						t.Fatalf("%s: Changes.Removed %v, want %v", label, renderTuples(p.Query, ch.Removed), wantRemoved)
+					}
+					if step%3 == 2 {
+						requireFreshEqual(t, label, v, p, fs)
+					}
+				}
+				requireFreshEqual(t, fmt.Sprintf("trial %d final", trial), v, p, fs)
+			}
+		})
+	}
+}
+
+// TestIncrStatsAccounting sanity-checks the cumulative counters.
+func TestIncrStatsAccounting(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		?- path.`)
+	fs := factSet{}
+	fs.apply(parser.MustParseFacts(`edge(1, 2). edge(2, 3).`), nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.Stats()
+	if st.InitRounds == 0 || st.InitTuples != 3 || st.InitProbes == 0 {
+		t.Fatalf("init stats look wrong: %+v", st)
+	}
+	if _, err := v.Apply(parser.MustParseFacts(`edge(3, 4).`), nil); err != nil {
+		t.Fatal(err)
+	}
+	st = v.Stats()
+	if st.Applies != 1 || st.DeltaProbes == 0 || st.TuplesAdded != 3 {
+		t.Fatalf("apply stats look wrong: %+v", st)
+	}
+}

@@ -1,34 +1,208 @@
 package server
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"time"
 
 	sqo "repro"
 )
 
-// dataset is one registered fact set. The database is immutable after
-// registration: queries that add inline facts clone it first, so any
-// number of evaluations may read it concurrently.
+// dataset is one registered fact set plus its attached materialized
+// views. The query-facing database is an immutable snapshot: every
+// mutation rebuilds a replacement from the canonical fact set and
+// swaps the pointer, so evaluations keep reading whichever snapshot
+// they resolved. Attached views are maintained incrementally — the
+// same add/retract batch that mutates the fact set is pushed through
+// sqo.View.Apply, which propagates deltas instead of re-evaluating.
 type dataset struct {
-	name  string
-	db    *sqo.DB
-	facts int
+	name string
+
+	mu           sync.Mutex
+	facts        map[string]sqo.Atom // canonical fact set, keyed by rendering
+	db           *sqo.DB             // immutable snapshot of facts
+	lastModified time.Time
+	views        map[string]*matView
+}
+
+// matView is one materialized view attached to a dataset.
+type matView struct {
+	name      string
+	program   *sqo.Program
+	optimized bool
+	view      *sqo.View
+	createdAt time.Time
+}
+
+func newDataset(name string, facts []sqo.Atom, now time.Time) *dataset {
+	ds := &dataset{
+		name:         name,
+		facts:        map[string]sqo.Atom{},
+		views:        map[string]*matView{},
+		lastModified: now,
+	}
+	for _, a := range facts {
+		ds.facts[a.String()] = a
+	}
+	ds.db = ds.buildDB()
+	return ds
+}
+
+// buildDB renders the canonical fact set as a fresh database in
+// key-sorted order, so evaluation and provenance are independent of
+// the dataset's update history. Callers hold ds.mu (or own the
+// dataset exclusively, as newDataset does).
+func (d *dataset) buildDB() *sqo.DB {
+	keys := make([]string, 0, len(d.facts))
+	for k := range d.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	db := sqo.NewDB()
+	for _, k := range keys {
+		db.AddFact(d.facts[k])
+	}
+	return db
+}
+
+// snapshot returns the current immutable database.
+func (d *dataset) snapshot() *sqo.DB {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.db
 }
 
 // DatasetInfo describes one registered dataset over the wire.
 type DatasetInfo struct {
-	Name       string         `json:"name"`
-	Facts      int            `json:"facts"`
-	Predicates map[string]int `json:"predicates"`
+	Name         string         `json:"name"`
+	Facts        int            `json:"facts"`
+	Predicates   map[string]int `json:"predicates"`
+	LastModified time.Time      `json:"last_modified"`
+	Views        []string       `json:"views,omitempty"`
 }
 
 func (d *dataset) describe() DatasetInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.describeLocked()
+}
+
+func (d *dataset) describeLocked() DatasetInfo {
 	preds := map[string]int{}
 	for _, p := range d.db.Preds() {
 		preds[p] = d.db.Count(p)
 	}
-	return DatasetInfo{Name: d.name, Facts: d.facts, Predicates: preds}
+	views := make([]string, 0, len(d.views))
+	for name := range d.views {
+		views = append(views, name)
+	}
+	sort.Strings(views)
+	return DatasetInfo{
+		Name:         d.name,
+		Facts:        len(d.facts),
+		Predicates:   preds,
+		LastModified: d.lastModified,
+		Views:        views,
+	}
+}
+
+// viewUpdate reports the effect of one dataset mutation on one
+// attached view.
+type viewUpdate struct {
+	Name           string  `json:"name"`
+	AnswersAdded   int     `json:"answers_added"`
+	AnswersRemoved int     `json:"answers_removed"`
+	ApplyMS        float64 `json:"apply_ms"`
+	// Error is set when maintenance failed (deadline, budget); the view
+	// is left broken and rebuilds itself on next access.
+	Error string `json:"error,omitempty"`
+}
+
+// factUpdate is the outcome of one mutation on a dataset.
+type factUpdate struct {
+	added, removed int
+	views          []viewUpdate
+}
+
+// updateLocked applies retractions then insertions to the canonical
+// fact set (an atom appearing in both is a no-op, matching
+// sqo.View.Apply's delete-then-insert semantics), swaps in a rebuilt
+// snapshot, and pushes the same batch through every attached view. A
+// view whose maintenance fails is left broken — it repairs itself on
+// the next read — so the dataset mutation itself always succeeds.
+// Callers hold d.mu.
+func (d *dataset) updateLocked(ctx context.Context, adds, dels []sqo.Atom, now time.Time) factUpdate {
+	var up factUpdate
+	addKeys := make(map[string]bool, len(adds))
+	for _, a := range adds {
+		addKeys[a.String()] = true
+	}
+	for _, a := range dels {
+		k := a.String()
+		if addKeys[k] {
+			continue
+		}
+		if _, ok := d.facts[k]; ok {
+			delete(d.facts, k)
+			up.removed++
+		}
+	}
+	for _, a := range adds {
+		k := a.String()
+		if _, ok := d.facts[k]; !ok {
+			d.facts[k] = a
+			up.added++
+		}
+	}
+	d.db = d.buildDB()
+	d.lastModified = now
+
+	names := make([]string, 0, len(d.views))
+	for name := range d.views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mv := d.views[name]
+		start := time.Now()
+		ch, err := mv.view.ApplyCtx(ctx, adds, dels)
+		vu := viewUpdate{
+			Name:    name,
+			ApplyMS: float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if err != nil {
+			vu.Error = err.Error()
+		} else {
+			vu.AnswersAdded = len(ch.Added)
+			vu.AnswersRemoved = len(ch.Removed)
+		}
+		up.views = append(up.views, vu)
+	}
+	return up
+}
+
+// diffLocked computes the adds and retracts that turn the current
+// fact set into target, for PUT-replacement of a dataset with live
+// views. Callers hold d.mu.
+func (d *dataset) diffLocked(target []sqo.Atom) (adds, dels []sqo.Atom) {
+	targetKeys := make(map[string]bool, len(target))
+	for _, a := range target {
+		k := a.String()
+		if !targetKeys[k] {
+			targetKeys[k] = true
+			if _, ok := d.facts[k]; !ok {
+				adds = append(adds, a)
+			}
+		}
+	}
+	for k, a := range d.facts {
+		if !targetKeys[k] {
+			dels = append(dels, a)
+		}
+	}
+	sort.Slice(dels, func(i, j int) bool { return dels[i].String() < dels[j].String() })
+	return adds, dels
 }
 
 // datasetStore is the concurrent registry of named datasets.
@@ -42,17 +216,22 @@ func newDatasetStore(m *Metrics) *datasetStore {
 	return &datasetStore{byName: map[string]*dataset{}, metrics: m}
 }
 
-// put registers (or replaces) a dataset built from the given facts.
-func (st *datasetStore) put(name string, facts []sqo.Atom) *dataset {
-	ds := &dataset{name: name, db: sqo.NewDBFrom(facts), facts: len(facts)}
+// create registers a new dataset; created is false (and the existing
+// dataset is returned) when the name is already taken.
+func (st *datasetStore) create(name string, facts []sqo.Atom, now time.Time) (ds *dataset, created bool) {
 	st.mu.Lock()
+	if existing, ok := st.byName[name]; ok {
+		st.mu.Unlock()
+		return existing, false
+	}
+	ds = newDataset(name, facts, now)
 	st.byName[name] = ds
 	n := len(st.byName)
 	st.mu.Unlock()
 	if st.metrics != nil {
 		st.metrics.Datasets.Store(int64(n))
 	}
-	return ds
+	return ds, true
 }
 
 // get returns the dataset named name.
@@ -63,14 +242,34 @@ func (st *datasetStore) get(name string) (*dataset, bool) {
 	return ds, ok
 }
 
+// delete removes the dataset named name, returning it so the caller
+// can release per-view accounting.
+func (st *datasetStore) delete(name string) (*dataset, bool) {
+	st.mu.Lock()
+	ds, ok := st.byName[name]
+	if ok {
+		delete(st.byName, name)
+	}
+	n := len(st.byName)
+	st.mu.Unlock()
+	if ok && st.metrics != nil {
+		st.metrics.Datasets.Store(int64(n))
+	}
+	return ds, ok
+}
+
 // list describes all datasets, sorted by name.
 func (st *datasetStore) list() []DatasetInfo {
 	st.mu.RLock()
-	out := make([]DatasetInfo, 0, len(st.byName))
+	dss := make([]*dataset, 0, len(st.byName))
 	for _, ds := range st.byName {
-		out = append(out, ds.describe())
+		dss = append(dss, ds)
 	}
 	st.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(dss))
+	for _, ds := range dss {
+		out = append(out, ds.describe())
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -39,6 +39,11 @@ type Metrics struct {
 
 	Datasets atomic.Int64 // gauge: registered datasets
 
+	// Mutable datasets and incremental maintenance.
+	Views       atomic.Int64 // gauge: live materialized views
+	FactUpdates atomic.Int64 // dataset mutations applied (facts add/delete, PUT replace)
+	ViewApplies atomic.Int64 // incremental maintenance passes pushed to views
+
 	mu        sync.Mutex
 	requests  map[statusKey]*int64  // endpoint×code → count
 	latencies map[string]*histogram // endpoint → latency histogram
@@ -135,6 +140,9 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	counter("sqod_query_budget_exceeded_total", "Queries stopped by the derived-tuple budget.", m.QueryBudgets.Load())
 
 	gauge("sqod_datasets", "Registered fact datasets.", m.Datasets.Load())
+	gauge("sqod_views", "Live materialized views.", m.Views.Load())
+	counter("sqod_fact_updates_total", "Dataset mutations applied.", m.FactUpdates.Load())
+	counter("sqod_view_applies_total", "Incremental maintenance passes pushed to views.", m.ViewApplies.Load())
 	fmt.Fprintf(&b, "# HELP sqod_uptime_seconds Seconds since the server started.\n# TYPE sqod_uptime_seconds gauge\nsqod_uptime_seconds %.3f\n",
 		time.Since(m.started).Seconds())
 

@@ -8,6 +8,12 @@
 // deduplication), bounds concurrent evaluations with fast 429s,
 // cancels the fixpoint when a request times out or its client
 // disconnects, and exposes live counters at /metrics.
+//
+// Datasets are mutable (fact-level insert/retract endpoints, replace
+// via PUT), and materialized views attached to a dataset survive
+// those updates: each mutation is pushed through sqo.View.Apply,
+// which maintains the answers incrementally (counting / DRed) under
+// the same admission control and a per-update deadline.
 package server
 
 import (
@@ -41,6 +47,10 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts. Default: 5m.
 	MaxTimeout time.Duration
+	// UpdateTimeout bounds one dataset mutation end to end, including
+	// incremental maintenance of every attached view. Default:
+	// DefaultTimeout.
+	UpdateTimeout time.Duration
 	// MaxTuples is the per-query derived-tuple budget (0 = unlimited).
 	MaxTuples int64
 	// Workers is the evaluation worker-pool size (0 = one per CPU).
@@ -116,8 +126,14 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	}))
 	mux.Handle("PUT /v1/datasets/{name}", s.instrument("dataset_put", s.handleDatasetPut))
-	mux.Handle("POST /v1/datasets/{name}", s.instrument("dataset_put", s.handleDatasetPut))
+	mux.Handle("POST /v1/datasets/{name}", s.instrument("dataset_post", s.handleDatasetPost))
+	mux.Handle("DELETE /v1/datasets/{name}", s.instrument("dataset_delete", s.handleDatasetDelete))
 	mux.Handle("GET /v1/datasets", s.instrument("dataset_list", s.handleDatasetList))
+	mux.Handle("POST /v1/datasets/{name}/facts", s.instrument("facts_add", s.handleFactsAdd))
+	mux.Handle("DELETE /v1/datasets/{name}/facts", s.instrument("facts_delete", s.handleFactsDelete))
+	mux.Handle("POST /v1/datasets/{name}/views/{view}", s.instrument("view_create", s.handleViewCreate))
+	mux.Handle("GET /v1/datasets/{name}/views/{view}", s.instrument("view_get", s.handleViewGet))
+	mux.Handle("DELETE /v1/datasets/{name}/views/{view}", s.instrument("view_delete", s.handleViewDelete))
 	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
 	if s.cfg.EnablePprof {
@@ -209,8 +225,11 @@ func (s *Server) admit() (release func(), ok bool) {
 
 // --- datasets ---------------------------------------------------------
 
-// handleDatasetPut registers (or replaces) a named dataset. The body
-// is datalog ground facts in source syntax.
+// handleDatasetPut registers or replaces a named dataset. The body is
+// datalog ground facts in source syntax. Replacing a live dataset is
+// expressed as the add/retract batch that turns the old fact set into
+// the new one, so attached materialized views survive a PUT and are
+// maintained incrementally through it.
 func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if name == "" {
@@ -227,7 +246,40 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse_error", "parsing facts: %v", err)
 		return
 	}
-	ds := s.datasets.put(name, facts)
+	ds, created := s.datasets.create(name, facts, time.Now())
+	if created {
+		writeJSON(w, http.StatusOK, ds.describe())
+		return
+	}
+	ds.mu.Lock()
+	adds, dels := ds.diffLocked(facts)
+	ds.mu.Unlock()
+	s.updateDataset(w, r, ds, adds, dels)
+}
+
+// handleDatasetPost registers a new dataset, answering 409 when the
+// name is already taken (PUT is the create-or-replace form).
+func (s *Server) handleDatasetPost(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "dataset name missing")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		return
+	}
+	facts, err := sqo.ParseFacts(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse_error", "parsing facts: %v", err)
+		return
+	}
+	ds, created := s.datasets.create(name, facts, time.Now())
+	if !created {
+		writeError(w, http.StatusConflict, "dataset_exists", "dataset %q is already registered (PUT replaces)", name)
+		return
+	}
 	writeJSON(w, http.StatusOK, ds.describe())
 }
 
@@ -368,6 +420,9 @@ type queryRequest struct {
 	// MaxTuples overrides the derived-tuple budget (0 → server
 	// default).
 	MaxTuples int64 `json:"max_tuples,omitempty"`
+	// IncludeRoundDeltas opts into per-round delta sizes in the
+	// response (round → relation → tuples derived that round).
+	IncludeRoundDeltas bool `json:"include_round_deltas,omitempty"`
 }
 
 type queryStats struct {
@@ -385,8 +440,13 @@ type queryResponse struct {
 	Optimized   bool       `json:"optimized"`
 	CacheHit    bool       `json:"cache_hit"`
 	Stats       queryStats `json:"stats"`
-	OptimizeMS  float64    `json:"optimize_ms"`
-	EvalMS      float64    `json:"eval_ms"`
+	// RoundDeltas is present only when the request set
+	// include_round_deltas: element i maps relation → tuples newly
+	// derived in fixpoint round i (relations with no new tuples are
+	// omitted; a fixpoint-detection round is an empty object).
+	RoundDeltas []map[string]int64 `json:"round_deltas,omitempty"`
+	OptimizeMS  float64            `json:"optimize_ms"`
+	EvalMS      float64            `json:"eval_ms"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -409,7 +469,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "unknown_dataset", "dataset %q is not registered", req.Dataset)
 			return
 		}
-		db = ds.db
+		db = ds.snapshot()
 	}
 	if req.Facts != "" {
 		facts, err := sqo.ParseFacts(req.Facts)
@@ -510,7 +570,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		answers[i] = t.String()
 	}
 	sort.Strings(answers)
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Query:       prog.Query,
 		Answers:     answers,
 		AnswerCount: len(answers),
@@ -525,5 +585,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		},
 		OptimizeMS: optimizeMS,
 		EvalMS:     evalMS,
-	})
+	}
+	if req.IncludeRoundDeltas {
+		resp.RoundDeltas = stats.RoundDeltas
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -134,7 +134,7 @@ func assertWorkersAgree(t *testing.T, label string, prog *Program, db *DB) {
 			first, firstStats = idb, stats
 			continue
 		}
-		if *stats != *firstStats {
+		if !stats.Equal(firstStats) {
 			t.Fatalf("%s: stats differ at workers=%d:\n%+v\nvs\n%+v", label, w, *firstStats, *stats)
 		}
 		for _, pred := range first.Preds() {
@@ -232,7 +232,7 @@ func TestParallelDefaultWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *seqStats != *defStats {
+	if !seqStats.Equal(defStats) {
 		t.Fatalf("stats differ:\n%+v\nvs\n%+v", *seqStats, *defStats)
 	}
 	if !reflect.DeepEqual(seq.SortedFacts("path"), def.SortedFacts("path")) {

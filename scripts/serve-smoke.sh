@@ -52,6 +52,25 @@ curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$QUER
 jq -e '.cache_hit == true' "$WORK/q2.json" >/dev/null || fail "second query missed the cache: $(cat "$WORK/q2.json")"
 [ "$(jq -cS .answers "$WORK/q1.json")" = "$(jq -cS .answers "$WORK/q2.json")" ] || fail "cached answers differ from fresh answers"
 
+echo "serve-smoke: materialized view over a mutable dataset"
+curl -fsS -X POST "$BASE/v1/datasets/quickstart/views/paths" -H 'Content-Type: application/json' \
+	-d '{"program": "path(X, Y) :- step(X, Y). path(X, Y) :- step(X, Z), path(Z, Y). ?- path.", "optimize": false}' >"$WORK/v1.json" \
+	|| fail "view create failed"
+jq -e '.answer_count == 8' "$WORK/v1.json" >/dev/null || fail "unexpected view: $(cat "$WORK/v1.json")"
+
+echo "serve-smoke: inserting a fact maintains the view incrementally"
+curl -fsS -X POST "$BASE/v1/datasets/quickstart/facts" --data-binary 'step(5, 6).' >"$WORK/u1.json" || fail "fact insert failed"
+jq -e '.facts_added == 1 and .views[0].answers_added == 3' "$WORK/u1.json" >/dev/null || fail "unexpected update: $(cat "$WORK/u1.json")"
+curl -fsS "$BASE/v1/datasets/quickstart/views/paths" >"$WORK/v2.json" || fail "view get failed"
+jq -e '.answer_count == 11 and .stats.applies == 1 and .stats.full_rebuilds == 0' "$WORK/v2.json" >/dev/null \
+	|| fail "view not maintained incrementally: $(cat "$WORK/v2.json")"
+
+echo "serve-smoke: retracting the fact restores the view"
+curl -fsS -X DELETE "$BASE/v1/datasets/quickstart/facts" --data-binary 'step(5, 6).' >/dev/null || fail "fact retract failed"
+curl -fsS "$BASE/v1/datasets/quickstart/views/paths" >"$WORK/v3.json" || fail "view get failed"
+jq -e '.answer_count == 8' "$WORK/v3.json" >/dev/null || fail "view not restored: $(cat "$WORK/v3.json")"
+[ "$(jq -cS .answers "$WORK/v1.json")" = "$(jq -cS .answers "$WORK/v3.json")" ] || fail "view answers differ after add+retract round trip"
+
 echo "serve-smoke: scraping /metrics"
 curl -fsS "$BASE/metrics" >"$WORK/metrics.txt" || fail "metrics scrape failed"
 grep -Eq '^sqod_cache_hits_total [1-9]' "$WORK/metrics.txt" || fail "sqod_cache_hits_total not positive"

@@ -46,6 +46,7 @@ import (
 	"repro/internal/contain"
 	"repro/internal/emptiness"
 	"repro/internal/eval"
+	"repro/internal/incr"
 	"repro/internal/parser"
 	"repro/internal/qtree"
 	"repro/internal/residue"
@@ -285,6 +286,38 @@ func SatisfiabilityAsNonContainment(p *Program, ics []IC) (*Program, []Rule, err
 // Derivation is a ground derivation tree for an answer (the ground
 // counterpart of the paper's symbolic derivation trees).
 type Derivation = eval.Derivation
+
+// View is an incrementally maintained materialization of a program
+// over a mutable extensional database. Build one with Materialize,
+// then push fact-level updates through View.Apply; non-recursive
+// predicates are maintained by counting, recursive strata by
+// delete-rederive (DRed). Answers, derivation counts, and provenance
+// stay identical to evaluating the program from scratch on the
+// current database.
+type View = incr.View
+
+// ViewChanges reports the query-predicate tuples added and removed by
+// one View.Apply call.
+type ViewChanges = incr.Changes
+
+// ViewOptions configures incremental maintenance (derived-tuple
+// budget shared with full rebuilds).
+type ViewOptions = incr.Options
+
+// ViewStats reports incremental-maintenance instrumentation.
+type ViewStats = incr.Stats
+
+// Materialize evaluates the program once and returns a View that
+// maintains the result under fact insertions and retractions.
+func Materialize(p *Program, edb *DB, opts ViewOptions) (*View, error) {
+	return incr.Materialize(p, edb, opts)
+}
+
+// MaterializeCtx is Materialize under a context; the initial fixpoint
+// honors the same cancellation contract as EvalCtx.
+func MaterializeCtx(ctx context.Context, p *Program, edb *DB, opts ViewOptions) (*View, error) {
+	return incr.MaterializeCtx(ctx, p, edb, opts)
+}
 
 // EvalProv evaluates the program while recording provenance, and
 // returns a function that reconstructs the derivation tree of any
