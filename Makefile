@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-compare fuzz-smoke incr-smoke serve serve-smoke ci
+.PHONY: build vet fmt test race bench bench-compare fuzz-smoke incr-smoke lint-smoke serve serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,22 @@ fuzz-smoke:
 # from-scratch evaluation. The CI race job runs this too.
 incr-smoke:
 	$(GO) test ./internal/incr -race -count=1 -run='TestIncrRandomizedDifferential'
+
+# Run sqolint over the checked-in example programs: the clean examples
+# must exit 0, deadcode.dl must exit 1 (it contains an unsatisfiable
+# rule), and its JSON report must name the dead rules. The CI test job
+# runs this too.
+lint-smoke:
+	$(GO) run ./cmd/sqolint examples/lint/figure1.dl
+	$(GO) run ./cmd/sqolint examples/lint/hygiene.dl
+	@if $(GO) run ./cmd/sqolint examples/lint/deadcode.dl; then \
+		echo "lint-smoke: deadcode.dl should exit non-zero"; exit 1; \
+	else \
+		echo "lint-smoke: deadcode.dl correctly rejected"; \
+	fi
+	@$(GO) run ./cmd/sqolint -json examples/lint/deadcode.dl | grep -q '"id": "dead-rule"' \
+		|| { echo "lint-smoke: dead-rule finding missing from JSON report"; exit 1; }
+	@echo "lint-smoke: PASS"
 
 # Run the query daemon locally with default settings.
 serve:

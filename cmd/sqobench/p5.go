@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	sqo "repro"
+	"repro/internal/workload"
+)
+
+// P5 — lint wall-clock per check family. The linter's cost story is
+// that the cheap structural passes (L4, L5) are effectively free and
+// the semantic passes (L1 satisfiability, L2 emptiness fixpoint, L3
+// pairwise containment) carry all the weight, each bounded by its own
+// deterministic budget. This experiment lints representative programs
+// and prints the per-check timings the Report already collects.
+
+const lintDeadcodeSrc = `
+	p(X) :- a(X, Y), b(Y, X).
+	q(X) :- p(X).
+	r(X) :- c(X, X).
+	r(X) :- p(X), c(X, X).
+	?- r.
+	:- a(X, Y), b(Y, Z).
+`
+
+func runP5() {
+	type bench struct {
+		name string
+		src  string
+	}
+	prog, ics, _ := workload.RandomProgram(1)
+	benches := []bench{
+		{"figure1", figure1Src + "\n:- a(X, Y), b(Y, Z)."},
+		{"goodpath", goodPathSrc + "\n:- startPoint(X), endPoint(Y), Y <= X."},
+		{"deadcode", lintDeadcodeSrc},
+		{"workload-seed1", prog + ics},
+	}
+	header("program", "rules", "findings", "L5 hygiene", "L4 guardrails", "L1 unsat", "L2 empty/dead", "L3 subsumed", "total")
+	for _, b := range benches {
+		unit, err := sqo.Parse(b.src)
+		if err != nil {
+			fmt.Printf("%s | parse error: %v\n", b.name, err)
+			continue
+		}
+		start := time.Now()
+		rep := sqo.Lint(context.Background(), unit.Program, unit.ICs, unit.Facts, sqo.LintOptions{})
+		total := time.Since(start)
+		fmt.Printf("%s | %d | %d | %s | %s | %s | %s | %s | %s\n",
+			b.name, len(unit.Program.Rules), len(rep.Findings),
+			rep.Timings["L5"].Round(time.Microsecond),
+			rep.Timings["L4"].Round(time.Microsecond),
+			rep.Timings["L1"].Round(time.Microsecond),
+			rep.Timings["L2"].Round(time.Microsecond),
+			rep.Timings["L3"].Round(time.Microsecond),
+			total.Round(time.Microsecond))
+	}
+}

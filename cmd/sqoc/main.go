@@ -48,6 +48,7 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also print the [CGM88] per-rule baseline rewriting")
 	stats := flag.Bool("stats", false, "print query-tree statistics")
 	why := flag.Bool("why", false, "print a derivation tree for each answer (requires facts)")
+	lintFlag := flag.Bool("lint", false, "run the semantic linter before optimizing; exit 1 on lint errors")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = one per CPU, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on optimization + evaluation (0 = none)")
 	budget := flag.Int64("budget", 0, "derived-tuple budget per evaluation (0 = unlimited)")
@@ -70,6 +71,18 @@ func main() {
 	}
 	if unit.Program.Query == "" {
 		log.Fatal("no query declaration ('?- pred.') in input")
+	}
+
+	if *lintFlag {
+		rep := sqo.Lint(ctx, unit.Program, unit.ICs, unit.Facts, sqo.LintOptions{})
+		if len(rep.Findings) > 0 {
+			if err := sqo.WriteLintText(os.Stderr, flag.Arg(0), rep); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if rep.HasErrors() {
+			log.Fatal("lint found errors; not optimizing")
+		}
 	}
 
 	res, err := sqo.OptimizeCtx(ctx, unit.Program, unit.ICs, sqo.DefaultOptions())

@@ -10,6 +10,10 @@ import (
 type Atom struct {
 	Pred string
 	Args []Term
+	// At is the atom's source position (zero for synthesized atoms).
+	// It is metadata only: Equal, Key, PatternKey, and Isomorphic all
+	// ignore it.
+	At Pos
 }
 
 // NewAtom builds an atom from a predicate name and terms.
@@ -24,7 +28,7 @@ func (a Atom) Arity() int { return len(a.Args) }
 func (a Atom) Clone() Atom {
 	args := make([]Term, len(a.Args))
 	copy(args, a.Args)
-	return Atom{Pred: a.Pred, Args: args}
+	return Atom{Pred: a.Pred, Args: args, At: a.At}
 }
 
 // Equal reports structural equality.

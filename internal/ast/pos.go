@@ -1,0 +1,33 @@
+package ast
+
+import "strconv"
+
+// Pos is a source position: the 1-based line and column of the token
+// that opened the node. The zero value means "unknown" and marks nodes
+// synthesized by rewrites rather than parsed from source. Positions are
+// carried by Atom, Rule, and IC; order atoms and terms share the
+// position of their enclosing node.
+//
+// Positions are metadata: they take no part in structural equality,
+// canonical keys, or isomorphism, and every structural operation
+// (Clone, renaming, substitution) preserves them, so diagnostics keep
+// pointing at source even after the canonicalization passes run.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// At builds a position; zero arguments of either kind yield positions
+// that are still IsValid as long as Line is positive.
+func At(line, col int) Pos { return Pos{Line: line, Col: col} }
+
+// IsValid reports whether the position was recorded from source.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" when the position is unknown.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}

@@ -26,7 +26,7 @@ func RenameCmp(c Cmp, f func(string) string) Cmp {
 
 // RenameRule returns a copy of r with every variable renamed by f.
 func RenameRule(r Rule, f func(string) string) Rule {
-	out := Rule{Head: RenameAtom(r.Head, f)}
+	out := Rule{Head: RenameAtom(r.Head, f), At: r.At}
 	for _, a := range r.Pos {
 		out.Pos = append(out.Pos, RenameAtom(a, f))
 	}
@@ -41,7 +41,7 @@ func RenameRule(r Rule, f func(string) string) Rule {
 
 // RenameIC returns a copy of ic with every variable renamed by f.
 func RenameIC(ic IC, f func(string) string) IC {
-	out := IC{}
+	out := IC{At: ic.At}
 	for _, a := range ic.Pos {
 		out.Pos = append(out.Pos, RenameAtom(a, f))
 	}

@@ -14,11 +14,14 @@ type Rule struct {
 	Pos  []Atom // positive relational subgoals (EDB or IDB)
 	Neg  []Atom // negated EDB subgoals (each Atom appears under negation)
 	Cmp  []Cmp  // order atoms
+	// At is the rule's source position — the head token — or zero for
+	// rules synthesized by rewrites.
+	At Pos
 }
 
 // Clone returns a deep copy of the rule.
 func (r Rule) Clone() Rule {
-	out := Rule{Head: r.Head.Clone()}
+	out := Rule{Head: r.Head.Clone(), At: r.At}
 	out.Pos = cloneAtoms(r.Pos)
 	out.Neg = cloneAtoms(r.Neg)
 	out.Cmp = append([]Cmp(nil), r.Cmp...)
@@ -129,11 +132,14 @@ type IC struct {
 	Pos []Atom // positive EDB atoms
 	Neg []Atom // negated EDB atoms (each Atom appears under negation)
 	Cmp []Cmp  // order atoms
+	// At is the constraint's source position (the ':-' token), zero
+	// for synthesized constraints.
+	At Pos
 }
 
 // Clone returns a deep copy of the constraint.
 func (ic IC) Clone() IC {
-	return IC{Pos: cloneAtoms(ic.Pos), Neg: cloneAtoms(ic.Neg), Cmp: append([]Cmp(nil), ic.Cmp...)}
+	return IC{Pos: cloneAtoms(ic.Pos), Neg: cloneAtoms(ic.Neg), Cmp: append([]Cmp(nil), ic.Cmp...), At: ic.At}
 }
 
 // Vars returns the variables of the constraint in order of first

@@ -14,7 +14,9 @@
 package chase
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/ast"
 
@@ -69,6 +71,18 @@ type Options struct {
 
 // Run chases the given ground facts against the constraints.
 func Run(facts []ast.Atom, ics []ast.IC, opts Options) Result {
+	return RunCtx(context.Background(), facts, ics, opts)
+}
+
+// RunCtx is Run under a context: cancellation or deadline expiry stops
+// the chase at the next step boundary with an Unknown verdict — the
+// same honest "budget exhausted" outcome as running out of MaxSteps,
+// since an interrupted semi-decision procedure has not decided
+// anything.
+func RunCtx(ctx context.Context, facts []ast.Atom, ics []ast.IC, opts Options) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 10000
 	}
@@ -81,7 +95,7 @@ func Run(facts []ast.Atom, ics []ast.IC, opts Options) Result {
 	for _, f := range opts.Forbidden {
 		forbidden[f.Key()] = true
 	}
-	c := &chaser{ics: ics, budget: opts.MaxSteps, forbidden: forbidden}
+	c := &chaser{ctx: ctx, ics: ics, budget: opts.MaxSteps, forbidden: forbidden}
 	db := map[string]ast.Atom{}
 	for _, f := range facts {
 		db[f.Key()] = f
@@ -95,6 +109,7 @@ func Run(facts []ast.Atom, ics []ast.IC, opts Options) Result {
 }
 
 type chaser struct {
+	ctx       context.Context
 	ics       []ast.IC
 	budget    int
 	steps     int
@@ -106,7 +121,7 @@ type chaser struct {
 // disjunctive repairs).
 func (c *chaser) chase(db map[string]ast.Atom) (Verdict, []ast.Atom) {
 	for {
-		if c.steps >= c.budget {
+		if c.steps >= c.budget || (c.ctx != nil && c.ctx.Err() != nil) {
 			c.exhausted = true
 			return Unknown, nil
 		}
@@ -206,10 +221,18 @@ func (c *chaser) findViolation(db map[string]ast.Atom) (violation, bool) {
 	return violation{}, false
 }
 
+// dbAtoms returns the database in sorted key order so that violation
+// search — and therefore branching order and the verdict under a tight
+// budget — is deterministic across runs.
 func dbAtoms(db map[string]ast.Atom) []ast.Atom {
+	keys := make([]string, 0, len(db))
+	for k := range db {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	out := make([]ast.Atom, 0, len(db))
-	for _, a := range db {
-		out = append(out, a)
+	for _, k := range keys {
+		out = append(out, db[k])
 	}
 	return out
 }

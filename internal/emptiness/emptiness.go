@@ -15,6 +15,7 @@
 package emptiness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -55,6 +56,17 @@ func (o *Options) defaults() {
 // ics on which the body has at least one match? This is the
 // conjunctive-query satisfiability at the heart of Proposition 5.2.
 func RuleSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
+	return RuleSatisfiableCtx(context.Background(), r, ics, opts)
+}
+
+// RuleSatisfiableCtx is RuleSatisfiable under a context: cancellation
+// or deadline expiry aborts the decision at the next check boundary
+// with an Unknown verdict, the same honest outcome as exhausting an
+// explicit budget.
+func RuleSatisfiableCtx(ctx context.Context, r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.defaults()
 	// Fast path: the rule's own order atoms must be satisfiable.
 	ruleSet := order.NewSet(r.Cmp...)
@@ -89,47 +101,73 @@ func RuleSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
 		}
 		return Unsatisfiable, nil
 
-	case !hasNegIC && len(r.Neg) == 0:
-		// Π2p case (Theorem 5.2(3) restricted to positive rules):
-		// enumerate linearizations of the rule's terms; the body is
-		// satisfiable iff some linearization consistent with the
-		// rule's order atoms yields a consistent frozen database.
-		return linearizationSatisfiable(r, ics, opts)
+	case !hasOrder:
+		// Negation without order atoms (Theorem 5.2(2,4)): bounded
+		// chase on the skolem-frozen body, honest about giving up. No
+		// comparison is ever evaluated here, so the canonical freeze
+		// with fresh distinct constants is most general.
+		return chaseSatisfiable(ctx, r, ics, opts)
 
 	default:
-		// Negation present (in the rule or the constraints): bounded
-		// chase, honest about giving up.
-		return chaseSatisfiable(r, ics, opts)
+		// Order atoms present (Theorem 5.2(3)): enumerate
+		// linearizations; the body is satisfiable iff some
+		// linearization consistent with the rule's order atoms yields
+		// a consistent frozen database. Negated atoms (in the rule or
+		// the constraints) are handled by a budget-bounded chase per
+		// linearization.
+		return linearizationSatisfiable(ctx, r, ics, opts)
 	}
 }
 
 // linearizationSatisfiable enumerates total preorders of the rule's
 // terms consistent with its order atoms; for each, it freezes the
 // body respecting the preorder and checks consistency (constraints may
-// carry order atoms, which evaluate on the frozen order).
-func linearizationSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
-	terms := bodyTerms(r)
+// carry order atoms, which evaluate on the frozen order). The preorder
+// domain includes every constant the constraints mention: the chase
+// outcome on a frozen embedding depends only on the embedding's order
+// type relative to those constants, so enumerating the extended set is
+// complete — without them, the arbitrary values freezeOrdered picks
+// could systematically trip (or dodge) a comparison against a constant
+// and turn into a wrong verdict.
+func linearizationSatisfiable(ctx context.Context, r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
+	terms := relevantTerms(r, ics)
 	base := order.NewSet(r.Cmp...)
 	count := 0
 	sat := false
 	exceeded := false
+	unknown := false
+	var unknownErr error
 	enumerateLinearizations(terms, base, func(lin *order.Set) bool {
 		count++
-		if count > opts.MaxLinearizations {
+		if count > opts.MaxLinearizations || (count%64 == 0 && ctx.Err() != nil) {
 			exceeded = true
 			return false
 		}
-		frozen, ok := freezeOrdered(r.Pos, terms, lin)
+		frozen, vals, ok := freezeOrdered(r.Pos, terms, lin)
 		if !ok {
 			return true
 		}
-		consistent, err := chase.IsConsistent(frozen, ics)
+		forbidden, err := groundNegated(r.Neg, vals)
 		if err != nil {
-			return true
+			unknown, unknownErr = true, err
+			return false
 		}
-		if consistent {
+		for _, f := range frozen {
+			for _, g := range forbidden {
+				if f.Equal(g) {
+					// The embedding itself contains a negated subgoal:
+					// refuted, not skipped.
+					return true
+				}
+			}
+		}
+		res := chase.RunCtx(ctx, frozen, ics, chase.Options{MaxSteps: opts.ChaseSteps, Forbidden: forbidden})
+		switch res.Verdict {
+		case chase.Consistent:
 			sat = true
 			return false
+		case chase.Unknown:
+			unknown = true
 		}
 		return true
 	})
@@ -138,24 +176,83 @@ func linearizationSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, 
 		return Satisfiable, nil
 	case exceeded:
 		return Unknown, fmt.Errorf("emptiness: linearization budget exceeded")
+	case unknown:
+		if unknownErr != nil {
+			return Unknown, unknownErr
+		}
+		return Unknown, fmt.Errorf("emptiness: chase budget exceeded on some linearization")
 	default:
 		return Unsatisfiable, nil
 	}
 }
 
-// chaseSatisfiable freezes the body (respecting order atoms when
-// present via a satisfying assignment of distinct reals) and chases
-// the result; negated body atoms become forbidden facts.
-func chaseSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
-	frozen, sub := unify.Freeze(r.Pos)
-	// Check the rule's own order atoms are not violated by distinct
-	// freezing; if the rule has order atoms we conservatively require
-	// them to be satisfiable with all variables distinct (sound for
-	// the common case; equalities were substituted by normalization).
-	set := order.NewSet(r.Cmp...)
-	if !set.Satisfiable() {
-		return Unsatisfiable, nil
+// relevantTerms returns the rule's body terms extended with every
+// constant appearing in the constraints or the rule's negated
+// subgoals; see linearizationSatisfiable for why these constants must
+// participate in the preorder enumeration.
+func relevantTerms(r ast.Rule, ics []ast.IC) []ast.Term {
+	terms := bodyTerms(r)
+	seen := map[string]bool{}
+	for _, t := range terms {
+		seen[t.Key()] = true
 	}
+	addConst := func(t ast.Term) {
+		if t.IsConst() && !seen[t.Key()] {
+			seen[t.Key()] = true
+			terms = append(terms, t)
+		}
+	}
+	for _, n := range r.Neg {
+		for _, t := range n.Args {
+			addConst(t)
+		}
+	}
+	for _, ic := range ics {
+		for _, a := range ic.Pos {
+			for _, t := range a.Args {
+				addConst(t)
+			}
+		}
+		for _, a := range ic.Neg {
+			for _, t := range a.Args {
+				addConst(t)
+			}
+		}
+		for _, c := range ic.Cmp {
+			addConst(c.Left)
+			addConst(c.Right)
+		}
+	}
+	return terms
+}
+
+// groundNegated instantiates the rule's negated subgoals with the
+// frozen values; safety requires their variables to occur in positive
+// subgoals, so a leftover variable is an error, not a guess.
+func groundNegated(neg []ast.Atom, vals map[string]ast.Term) ([]ast.Atom, error) {
+	var out []ast.Atom
+	for _, n := range neg {
+		g := n.Clone()
+		for i, t := range g.Args {
+			if v, ok := vals[t.Key()]; ok {
+				g.Args[i] = v
+			}
+		}
+		if !g.Ground() {
+			return nil, fmt.Errorf("emptiness: negated atom %s has variables outside positive subgoals", n)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// chaseSatisfiable freezes the body with fresh distinct constants and
+// chases the result; negated body atoms become forbidden facts. It is
+// only reached when no order atom appears in the rule or the
+// constraints, so no comparison ever evaluates on the skolem
+// constants and the canonical freeze is most general.
+func chaseSatisfiable(ctx context.Context, r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
+	frozen, sub := unify.Freeze(r.Pos)
 	var forbidden []ast.Atom
 	for _, n := range r.Neg {
 		g := n.Clone()
@@ -177,7 +274,7 @@ func chaseSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
 			}
 		}
 	}
-	res := chase.Run(frozen, ics, chase.Options{MaxSteps: opts.ChaseSteps, Forbidden: forbidden})
+	res := chase.RunCtx(ctx, frozen, ics, chase.Options{MaxSteps: opts.ChaseSteps, Forbidden: forbidden})
 	return res.Verdict, nil
 }
 
@@ -186,13 +283,20 @@ func chaseSatisfiable(r ast.Rule, ics []ast.IC, opts Options) (Verdict, error) {
 // false when some rule's satisfiability could not be settled within
 // budget and no rule was found satisfiable.
 func Empty(p *ast.Program, ics []ast.IC, opts Options) (empty, decided bool, err error) {
+	return EmptyCtx(context.Background(), p, ics, opts)
+}
+
+// EmptyCtx is Empty under a context; cancellation mid-way leaves the
+// undecided rules Unknown, so the result degrades to decided == false
+// rather than an unsound emptiness claim.
+func EmptyCtx(ctx context.Context, p *ast.Program, ics []ast.IC, opts Options) (empty, decided bool, err error) {
 	idb := p.IDB()
 	sawUnknown := false
 	for _, r := range p.Rules {
 		if !r.IsInit(idb) {
 			continue
 		}
-		v, verr := RuleSatisfiable(r, ics, opts)
+		v, verr := RuleSatisfiableCtx(ctx, r, ics, opts)
 		switch v {
 		case Satisfiable:
 			// Some initialization rule fires: the program is nonempty.
@@ -282,8 +386,10 @@ func enumerateLinearizations(terms []ast.Term, base *order.Set, fn func(*order.S
 // freezeOrdered freezes the atoms to numeric constants realizing the
 // given linearization: terms in the same equivalence group share a
 // value, later groups get larger values, and constant terms keep their
-// own values (failing if the linearization contradicts them).
-func freezeOrdered(atoms []ast.Atom, terms []ast.Term, lin *order.Set) ([]ast.Atom, bool) {
+// own values (failing if the linearization contradicts them). It also
+// returns the term-key → value assignment so callers can ground atoms
+// outside the positive body (negated subgoals) consistently.
+func freezeOrdered(atoms []ast.Atom, terms []ast.Term, lin *order.Set) ([]ast.Atom, map[string]ast.Term, bool) {
 	// Assign each term a numeric value consistent with lin: walk the
 	// terms and use the linearization's implied order. We realize the
 	// order by sorting terms with lin.Implies.
@@ -356,7 +462,7 @@ func freezeOrdered(atoms []ast.Atom, terms []ast.Term, lin *order.Set) ([]ast.At
 	// neighbouring one over the purely numeric embedding).
 	for ci := 0; ci+1 < len(classes); ci++ {
 		if assigned[ci].Compare(assigned[ci+1]) >= 0 {
-			return nil, false
+			return nil, nil, false
 		}
 	}
 	for ci, c := range classes {
@@ -374,9 +480,9 @@ func freezeOrdered(atoms []ast.Atom, terms []ast.Term, lin *order.Set) ([]ast.At
 			}
 		}
 		if !g.Ground() {
-			return nil, false
+			return nil, nil, false
 		}
 		out[i] = g
 	}
-	return out, true
+	return out, vals, true
 }

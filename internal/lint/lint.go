@@ -1,0 +1,224 @@
+// Package lint is a semantic static analyzer for datalog programs
+// with integrity constraints. It layers the decision procedures of the
+// paper — conjunctive-query satisfiability (Theorem 5.2), program
+// emptiness via initialization rules (Proposition 5.2), and query
+// containment (Proposition 5.1) — into a multi-rule linter with
+// structured diagnostics:
+//
+//   - L1 unsat-body: a rule whose body is unsatisfiable w.r.t. the
+//     constraints can never fire.
+//   - L2 empty-predicate / dead-rule / unreachable-rule: IDB predicates
+//     provably empty on every consistent database, rules that depend on
+//     them, and rules the query predicate cannot reach.
+//   - L3 subsumed-rule: a rule contained in a sibling rule for the same
+//     predicate is redundant.
+//   - L4 guardrails: constraint features that push the underlying
+//     questions into semi-decidable or undecidable territory
+//     (Theorems 5.3 and 5.4).
+//   - L5 hygiene: arity mismatches, unsafe rules, IDB predicates in
+//     constraint bodies, singleton variables, unused EDB predicates.
+//
+// Every semantic verdict the linter relies on is three-valued; budget
+// exhaustion surfaces as an explicit Info finding, never as a false
+// positive.
+package lint
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/emptiness"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+const (
+	// Info findings are advisory: notes about undecidable territory or
+	// exhausted budgets.
+	Info Severity = iota
+	// Warning findings identify code that is almost certainly
+	// unintended but does not change query answers when kept.
+	Warning
+	// Error findings identify defects: rules that can never fire,
+	// empty queries, or programs the optimizer would reject.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the lower-case severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Finding is one diagnostic: a check family (L1..L5), a stable rule
+// identifier, a severity, a source position, and a message.
+type Finding struct {
+	Check    string   `json:"check"`
+	ID       string   `json:"id"`
+	Severity Severity `json:"severity"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+}
+
+// Pos returns the finding's source position.
+func (f Finding) Pos() ast.Pos { return ast.At(f.Line, f.Col) }
+
+// Report is the result of a lint run.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	Errors   int       `json:"errors"`
+	Warnings int       `json:"warnings"`
+	Infos    int       `json:"infos"`
+	// Timings records wall-clock time per check family (L1..L5); it is
+	// excluded from JSON so renderings stay deterministic.
+	Timings map[string]time.Duration `json:"-"`
+}
+
+// HasErrors reports whether any Error-severity finding was emitted.
+func (r *Report) HasErrors() bool { return r.Errors > 0 }
+
+// Options bounds the semantic checks.
+type Options struct {
+	// Emptiness bounds the satisfiability procedures behind L1 and L2
+	// (chase steps, linearization count).
+	Emptiness emptiness.Options
+	// MaxSubsumptionAtoms bounds the body size of rules considered by
+	// the L3 containment check (default 8); containment is NP-complete
+	// in the body size.
+	MaxSubsumptionAtoms int
+	// MaxSubsumptionRules bounds the number of rules per head
+	// predicate compared pairwise by L3 (default 16).
+	MaxSubsumptionRules int
+}
+
+func (o *Options) defaults() {
+	if o.MaxSubsumptionAtoms == 0 {
+		o.MaxSubsumptionAtoms = 8
+	}
+	if o.MaxSubsumptionRules == 0 {
+		o.MaxSubsumptionRules = 16
+	}
+}
+
+// Run lints the program against its integrity constraints and optional
+// EDB facts. The context bounds the semantic checks: cancellation
+// degrades verdicts to Unknown (reported as Info), never to a wrong
+// answer. Run always returns a report; it has no error mode.
+func Run(ctx context.Context, p *ast.Program, ics []ast.IC, facts []ast.Atom, opts Options) *Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.defaults()
+	l := &linter{
+		ctx:   ctx,
+		p:     p,
+		ics:   ics,
+		facts: facts,
+		opts:  opts,
+		idb:   p.IDB(),
+		rep:   &Report{Findings: []Finding{}, Timings: map[string]time.Duration{}},
+	}
+	structuralOK := true
+	l.timed("L5", func() { structuralOK = l.hygiene() })
+	l.timed("L4", func() { l.guardrails() })
+	// Semantic checks assume consistent arities, safe rules, and
+	// constraints free of IDB predicates; skip them when the structure
+	// is broken rather than report nonsense on top of the real defect.
+	if structuralOK {
+		l.timed("L1", func() { l.unsatRules() })
+		l.timed("L2", func() { l.emptyAndDead() })
+		l.timed("L3", func() { l.subsumedRules() })
+	}
+	if ctx.Err() != nil {
+		l.add(Finding{Check: "lint", ID: "aborted", Severity: Info,
+			Message: "lint budget exhausted before all checks completed; remaining verdicts are unknown"})
+	}
+	sort.SliceStable(l.rep.Findings, func(i, j int) bool {
+		a, b := l.rep.Findings[i], l.rep.Findings[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.ID < b.ID
+	})
+	for _, f := range l.rep.Findings {
+		switch f.Severity {
+		case Error:
+			l.rep.Errors++
+		case Warning:
+			l.rep.Warnings++
+		default:
+			l.rep.Infos++
+		}
+	}
+	return l.rep
+}
+
+type linter struct {
+	ctx   context.Context
+	p     *ast.Program
+	ics   []ast.IC
+	facts []ast.Atom
+	opts  Options
+	idb   map[string]bool
+	rep   *Report
+
+	// sat holds the L1 verdict per rule index, consumed by L2.
+	sat []emptiness.Verdict
+	// flagged marks rule indices already reported as deletable
+	// (unsat-body, dead-rule, or subsumed-rule), so later checks
+	// neither re-flag them nor use them as subsumption witnesses.
+	flagged map[int]bool
+}
+
+func (l *linter) add(f Finding) { l.rep.Findings = append(l.rep.Findings, f) }
+
+func (l *linter) addAt(check, id string, sev Severity, at ast.Pos, msg string) {
+	l.add(Finding{Check: check, ID: id, Severity: sev, Line: at.Line, Col: at.Col, Message: msg})
+}
+
+func (l *linter) timed(name string, fn func()) {
+	start := time.Now()
+	fn()
+	l.rep.Timings[name] = time.Since(start)
+}

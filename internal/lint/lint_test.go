@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func runOn(t *testing.T, progSrc, icsSrc, factsSrc string) *Report {
+	t.Helper()
+	p, err := parser.ParseProgram(progSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ics, err := parser.ParseICs(icsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := parser.ParseFacts(factsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(context.Background(), p, ics, facts, Options{})
+}
+
+func findingIDs(rep *Report) map[string]int {
+	out := map[string]int{}
+	for _, f := range rep.Findings {
+		out[f.ID]++
+	}
+	return out
+}
+
+func TestUnsatBody(t *testing.T) {
+	rep := runOn(t, `
+q(X) :- a(X, Y), b(Y, X).
+q(X) :- a(X, Y), a(Y, X).
+?- q.
+`, `:- a(X, Y), b(Y, Z).`, ``)
+	ids := findingIDs(rep)
+	if ids["unsat-body"] != 1 {
+		t.Fatalf("want exactly one unsat-body finding, got %v", rep.Findings)
+	}
+	if rep.Errors != 1 {
+		t.Errorf("want 1 error, got %d", rep.Errors)
+	}
+	// The finding must point at the offending rule (line 2).
+	for _, f := range rep.Findings {
+		if f.ID == "unsat-body" && f.Line != 2 {
+			t.Errorf("unsat-body at line %d, want 2", f.Line)
+		}
+	}
+}
+
+func TestEmptyPredicateAndDeadRule(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(X, Y), b(Y, Z).
+q(X) :- p(X).
+r(X) :- c(X, X).
+?- r.
+`, `:- a(X, Y), b(Y, Z).`, ``)
+	ids := findingIDs(rep)
+	if ids["unsat-body"] != 1 {
+		t.Errorf("want unsat-body for p's rule, got %v", rep.Findings)
+	}
+	if ids["empty-predicate"] != 2 {
+		t.Errorf("want empty-predicate for p and q, got %v", rep.Findings)
+	}
+	if ids["dead-rule"] != 1 {
+		t.Errorf("want dead-rule for q's rule, got %v", rep.Findings)
+	}
+	if ids["query-empty"] != 0 {
+		t.Errorf("query r is satisfiable, got %v", rep.Findings)
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(X, Y), b(Y, Z).
+?- p.
+`, `:- a(X, Y), b(Y, Z).`, ``)
+	ids := findingIDs(rep)
+	if ids["query-empty"] != 1 {
+		t.Fatalf("want query-empty, got %v", rep.Findings)
+	}
+}
+
+func TestUnreachableRule(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(X, X).
+q(X) :- b(X, X).
+?- p.
+`, ``, ``)
+	ids := findingIDs(rep)
+	if ids["unreachable-rule"] != 1 {
+		t.Fatalf("want unreachable-rule for q, got %v", rep.Findings)
+	}
+}
+
+func TestSubsumedRule(t *testing.T) {
+	rep := runOn(t, `
+s(X) :- e(X, Y).
+s(X) :- e(X, Y), f(Y, Y).
+?- s.
+`, ``, ``)
+	var lines []int
+	for _, f := range rep.Findings {
+		if f.ID == "subsumed-rule" {
+			lines = append(lines, f.Line)
+		}
+	}
+	// The more specific rule (line 3) is subsumed by the general one;
+	// the general one must not be flagged.
+	if !reflect.DeepEqual(lines, []int{3}) {
+		t.Fatalf("subsumed-rule lines %v, want [3]; findings: %v", lines, rep.Findings)
+	}
+}
+
+func TestEquivalentRulesFlagOnlyOne(t *testing.T) {
+	rep := runOn(t, `
+s(X) :- e(X, Y), e(X, Z).
+s(A) :- e(A, B).
+?- s.
+`, ``, ``)
+	n := findingIDs(rep)["subsumed-rule"]
+	if n != 1 {
+		t.Fatalf("equivalent rules: want exactly one subsumed-rule finding, got %d: %v", n, rep.Findings)
+	}
+}
+
+func TestGuardrails(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(X, Y).
+?- p.
+`, `
+:- a(X, Y), X < Z, c(Z, Z).
+:- a(X, Y), !b(Y, X).
+:- a(X, Y), !b(Y, Z), c(Z, Z).
+`, ``)
+	ids := findingIDs(rep)
+	if ids["nonlocal-order"] != 1 {
+		t.Errorf("want nonlocal-order for ic 1, got %v", rep.Findings)
+	}
+	if ids["nonlocal-negation"] != 1 {
+		t.Errorf("want nonlocal-negation for ic 3, got %v", rep.Findings)
+	}
+	if ids["neg-edb-ic"] != 1 {
+		t.Errorf("want neg-edb-ic for ic 2, got %v", rep.Findings)
+	}
+}
+
+func TestHygiene(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(X, Y), b(Y).
+w(X) :- e(X, Y).
+?- p.
+`, ``, `c(1, 2). c(3, 4).`)
+	ids := findingIDs(rep)
+	if ids["singleton-var"] == 0 {
+		t.Errorf("want singleton-var for w's rule, got %v", rep.Findings)
+	}
+	if ids["unused-edb"] != 1 {
+		t.Errorf("want unused-edb for c, got %v", rep.Findings)
+	}
+}
+
+func TestArityMismatchGatesSemantics(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(X, Y).
+q(X) :- a(X).
+?- p.
+`, ``, ``)
+	ids := findingIDs(rep)
+	if ids["arity-mismatch"] != 1 {
+		t.Fatalf("want arity-mismatch, got %v", rep.Findings)
+	}
+	for _, id := range []string{"unsat-body", "empty-predicate", "subsumed-rule", "unreachable-rule"} {
+		if ids[id] != 0 {
+			t.Errorf("semantic check %s ran despite structural error: %v", id, rep.Findings)
+		}
+	}
+}
+
+func TestUnsafeRule(t *testing.T) {
+	rep := runOn(t, `
+p(X) :- a(Y, Y).
+?- p.
+`, ``, ``)
+	if findingIDs(rep)["unsafe-rule"] != 1 {
+		t.Fatalf("want unsafe-rule, got %v", rep.Findings)
+	}
+	if !rep.HasErrors() {
+		t.Error("unsafe rule must be an error")
+	}
+}
+
+func TestCleanProgramNoFindings(t *testing.T) {
+	rep := runOn(t, `
+p(X, Y) :- a(X, Y).
+p(X, Y) :- a(X, Z), p(Z, Y).
+?- p.
+`, `:- a(X, Y), Y <= X.`, `a(1, 2).`)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean program: want no findings, got %v", rep.Findings)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() *Report {
+		return runOn(t, `
+p(X) :- a(X, Y), b(Y, X).
+q(X) :- p(X).
+s(X) :- e(X, Y).
+s(X) :- e(X, Y), f(Y, Y).
+?- q.
+`, `:- a(X, Y), b(Y, Z). :- e(X, Y), !f(X, Y).`, ``)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Findings, b.Findings) {
+		t.Fatalf("nondeterministic findings:\n%v\nvs\n%v", a.Findings, b.Findings)
+	}
+}
+
+func TestCancelledContextDegradesToUnknown(t *testing.T) {
+	p, err := parser.ParseProgram(`
+p(X) :- a(X, Y), b(Y, X).
+?- p.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ics, err := parser.ParseICs(`:- a(X, Y), b(Y, Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := Run(ctx, p, ics, nil, Options{})
+	for _, f := range rep.Findings {
+		if f.Severity == Error {
+			t.Errorf("cancelled run must not claim errors, got %v", f)
+		}
+	}
+	if findingIDs(rep)["aborted"] != 1 {
+		t.Errorf("want aborted note, got %v", rep.Findings)
+	}
+}

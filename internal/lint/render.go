@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteText renders the report in the conventional compiler-diagnostic
+// format, one finding per line:
+//
+//	name:line:col: severity: [check/id] message
+//
+// name is the source name to prefix (usually a file path); it is
+// omitted when empty, as is the position when a finding has none. A
+// summary line follows the findings.
+func WriteText(w io.Writer, name string, rep *Report) error {
+	for _, f := range rep.Findings {
+		prefix := ""
+		if name != "" {
+			prefix = name + ":"
+		}
+		if f.Pos().IsValid() {
+			prefix += strconv.Itoa(f.Line) + ":" + strconv.Itoa(f.Col) + ":"
+		}
+		if prefix != "" {
+			prefix += " "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s: [%s/%s] %s\n", prefix, f.Severity, f.Check, f.ID, f.Message); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d error(s), %d warning(s), %d info(s)\n", rep.Errors, rep.Warnings, rep.Infos)
+	return err
+}
+
+// WriteJSON renders the report as indented JSON. The output is
+// deterministic: findings are pre-sorted and timings are excluded.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -174,7 +174,7 @@ func (p *parser) parseRule() (ast.Rule, error) {
 	if err != nil {
 		return ast.Rule{}, err
 	}
-	r := ast.Rule{Head: head}
+	r := ast.Rule{Head: head, At: head.At}
 	if p.tok.kind == tokDot {
 		return r, p.bump()
 	}
@@ -189,10 +189,11 @@ func (p *parser) parseRule() (ast.Rule, error) {
 
 // parseIC parses `:- body.`.
 func (p *parser) parseIC() (ast.IC, error) {
+	at := ast.At(p.tok.line, p.tok.col)
 	if err := p.expect(tokImplies); err != nil {
 		return ast.IC{}, err
 	}
-	var ic ast.IC
+	ic := ast.IC{At: at}
 	if err := p.parseBody(&ic.Pos, &ic.Neg, &ic.Cmp); err != nil {
 		return ast.IC{}, err
 	}
@@ -218,12 +219,13 @@ func (p *parser) parseBody(pos, neg *[]ast.Atom, cmp *[]ast.Cmp) error {
 			// whose left side is a bare symbolic constant (`a != W`).
 			// Disambiguate on the following token.
 			name := p.tok.text
+			at := ast.At(p.tok.line, p.tok.col)
 			if err := p.bump(); err != nil {
 				return err
 			}
 			switch p.tok.kind {
 			case tokLParen:
-				a, err := p.parseAtomArgs(name)
+				a, err := p.parseAtomArgs(name, at)
 				if err != nil {
 					return err
 				}
@@ -235,7 +237,7 @@ func (p *parser) parseBody(pos, neg *[]ast.Atom, cmp *[]ast.Cmp) error {
 				}
 				*cmp = append(*cmp, c)
 			default:
-				*pos = append(*pos, ast.Atom{Pred: name})
+				*pos = append(*pos, ast.Atom{Pred: name, At: at})
 			}
 		case tokVar, tokNum, tokStr:
 			c, err := p.parseCmp()
@@ -261,22 +263,24 @@ func (p *parser) parseAtom() (ast.Atom, error) {
 		return ast.Atom{}, p.expected("predicate name")
 	}
 	pred := p.tok.text
+	at := ast.At(p.tok.line, p.tok.col)
 	if err := p.bump(); err != nil {
 		return ast.Atom{}, err
 	}
 	if p.tok.kind != tokLParen {
-		return ast.Atom{Pred: pred}, nil // 0-ary atom, e.g. halt
+		return ast.Atom{Pred: pred, At: at}, nil // 0-ary atom, e.g. halt
 	}
-	return p.parseAtomArgs(pred)
+	return p.parseAtomArgs(pred, at)
 }
 
 // parseAtomArgs parses `(t1, ..., tn)` for an already-consumed
-// predicate name (the current token is the opening parenthesis).
-func (p *parser) parseAtomArgs(pred string) (ast.Atom, error) {
+// predicate name at position at (the current token is the opening
+// parenthesis).
+func (p *parser) parseAtomArgs(pred string, at ast.Pos) (ast.Atom, error) {
 	if err := p.expect(tokLParen); err != nil {
 		return ast.Atom{}, err
 	}
-	a := ast.Atom{Pred: pred}
+	a := ast.Atom{Pred: pred, At: at}
 	for {
 		t, err := p.parseTerm()
 		if err != nil {

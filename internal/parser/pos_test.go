@@ -1,0 +1,101 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/rewrite"
+)
+
+// TestPositions asserts that every parsed node carries the line/column
+// of its opening token: rules and their head/body atoms, integrity
+// constraints, and ground facts.
+func TestPositions(t *testing.T) {
+	src := `% a leading comment shifts everything down one line
+path(X, Y) :- step(X, Y).
+path(X, Y) :-
+    step(X, Z),
+    path(Z, Y), X < 100, Z = 3.
+?- path.
+:- startPoint(X), endPoint(Y), Y <= X.
+step(1, 2).
+`
+	unit, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := unit.Program.Rules
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rules))
+	}
+
+	wantPos := func(what string, got, want ast.Pos) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s: at %s, want %s", what, got, want)
+		}
+	}
+	wantPos("rule 0", rules[0].At, ast.At(2, 1))
+	wantPos("rule 0 head", rules[0].Head.At, ast.At(2, 1))
+	wantPos("rule 0 body atom", rules[0].Pos[0].At, ast.At(2, 15))
+	wantPos("rule 1", rules[1].At, ast.At(3, 1))
+	wantPos("rule 1 subgoal 0", rules[1].Pos[0].At, ast.At(4, 5))
+	wantPos("rule 1 subgoal 1", rules[1].Pos[1].At, ast.At(5, 5))
+
+	if len(unit.ICs) != 1 {
+		t.Fatalf("got %d ics, want 1", len(unit.ICs))
+	}
+	wantPos("ic", unit.ICs[0].At, ast.At(7, 1))
+	wantPos("ic atom 0", unit.ICs[0].Pos[0].At, ast.At(7, 4))
+	wantPos("ic atom 1", unit.ICs[0].Pos[1].At, ast.At(7, 19))
+
+	if len(unit.Facts) != 1 {
+		t.Fatalf("got %d facts, want 1", len(unit.Facts))
+	}
+	wantPos("fact", unit.Facts[0].At, ast.At(8, 1))
+}
+
+// TestPositionsSurviveCanonicalizer asserts that the order-atom
+// canonicalization pass (equality substitution, tautology pruning,
+// cloning) preserves source positions, so diagnostics computed on the
+// normalized program still point at the original source. Rule 1
+// exercises the substitution path: Z = 3 is a forced equality, so the
+// rule is rebuilt through Subst.ApplyRule rather than Clone.
+func TestPositionsSurviveCanonicalizer(t *testing.T) {
+	src := `
+path(X, Y) :- step(X, Y).
+path(X, Y) :-
+    step(X, Z),
+    path(Z, Y), X < 100, Z = 3.
+?- path.
+`
+	unit, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := rewrite.NormalizeOrder(unit.Program)
+	if len(norm.Rules) != len(unit.Program.Rules) {
+		t.Fatalf("canonicalizer dropped rules: got %d, want %d", len(norm.Rules), len(unit.Program.Rules))
+	}
+	for i, nr := range norm.Rules {
+		orig := unit.Program.Rules[i]
+		if nr.At != orig.At {
+			t.Errorf("rule %d: position %s, want %s", i, nr.At, orig.At)
+		}
+		if nr.Head.At != orig.Head.At {
+			t.Errorf("rule %d head: position %s, want %s", i, nr.Head.At, orig.Head.At)
+		}
+		for j := range nr.Pos {
+			if nr.Pos[j].At != orig.Pos[j].At {
+				t.Errorf("rule %d subgoal %d: position %s, want %s", i, j, nr.Pos[j].At, orig.Pos[j].At)
+			}
+		}
+	}
+	// The same must hold for a plain deep copy.
+	clone := unit.Program.Clone()
+	for i := range clone.Rules {
+		if clone.Rules[i].At != unit.Program.Rules[i].At {
+			t.Errorf("clone rule %d: position %s, want %s", i, clone.Rules[i].At, unit.Program.Rules[i].At)
+		}
+	}
+}

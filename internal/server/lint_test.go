@@ -1,0 +1,162 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	sqo "repro"
+)
+
+// deadRuleProgram has a rule whose body instantiates the constraint
+// (unsat-body), making p provably empty and q's rule dead.
+const deadRuleProgram = `
+	p(X) :- a(X, Y), b(Y, X).
+	q(X) :- p(X).
+	r(X) :- c(X, X).
+	r(X) :- p(X), c(X, X).
+	?- r.
+`
+
+const deadRuleICs = `:- a(X, Y), b(Y, Z).`
+
+func findingIDs(fs []sqo.LintFinding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.ID]++
+	}
+	return out
+}
+
+func TestServerLintEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var resp struct {
+		Findings []sqo.LintFinding `json:"findings"`
+		Errors   int               `json:"errors"`
+		Warnings int               `json:"warnings"`
+		Infos    int               `json:"infos"`
+		LintMS   float64           `json:"lint_ms"`
+	}
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/lint",
+		map[string]any{"program": deadRuleProgram, "ics": deadRuleICs}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("lint: status %d, body %s", code, raw)
+	}
+	ids := findingIDs(resp.Findings)
+	if ids["unsat-body"] != 1 {
+		t.Errorf("want one unsat-body finding, got %v", resp.Findings)
+	}
+	if ids["dead-rule"] != 2 {
+		t.Errorf("want two dead-rule findings, got %v", resp.Findings)
+	}
+	if resp.Errors != 1 {
+		t.Errorf("want 1 error, got %d (body %s)", resp.Errors, raw)
+	}
+	// Findings carry positions pointing into the submitted source.
+	for _, f := range resp.Findings {
+		if f.Line == 0 {
+			t.Errorf("finding %s/%s has no position", f.Check, f.ID)
+		}
+	}
+}
+
+func TestServerLintEndpointCleanAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var resp struct {
+		Findings []sqo.LintFinding `json:"findings"`
+		Errors   int               `json:"errors"`
+	}
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/lint",
+		map[string]any{"program": serverTestProgram}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("lint: status %d, body %s", code, raw)
+	}
+	if resp.Errors != 0 {
+		t.Errorf("clean program: want 0 errors, got %d (body %s)", resp.Errors, raw)
+	}
+
+	var errResp struct {
+		Code string `json:"code"`
+	}
+	code, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/lint",
+		map[string]any{"program": "p(X :-"}, &errResp)
+	if code != http.StatusBadRequest || errResp.Code != "parse_error" {
+		t.Errorf("malformed program: status %d code %q, want 400 parse_error", code, errResp.Code)
+	}
+}
+
+func TestServerOptimizeCarriesDiagnostics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	var resp struct {
+		Diagnostics []sqo.LintFinding `json:"diagnostics"`
+	}
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/optimize",
+		map[string]any{"program": deadRuleProgram, "ics": deadRuleICs}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("optimize: status %d, body %s", code, raw)
+	}
+	if findingIDs(resp.Diagnostics)["unsat-body"] != 1 {
+		t.Errorf("optimize response missing unsat-body diagnostic: %s", raw)
+	}
+	if s.Metrics().LintFindings.Load() == 0 {
+		t.Error("lint findings metric not incremented")
+	}
+	if s.Metrics().LintRuns.Load() == 0 {
+		t.Error("lint runs metric not incremented")
+	}
+}
+
+func TestServerViewCreateCarriesDiagnostics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerDataset(t, ts.URL, "d", `c(1, 1). a(1, 2). b(2, 1).`)
+
+	var resp struct {
+		Diagnostics []sqo.LintFinding `json:"diagnostics"`
+		AnswerCount int               `json:"answer_count"`
+	}
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/d/views/v",
+		map[string]any{"program": deadRuleProgram, "ics": deadRuleICs}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("view create: status %d, body %s", code, raw)
+	}
+	if findingIDs(resp.Diagnostics)["dead-rule"] != 2 {
+		t.Errorf("view response missing dead-rule diagnostics: %s", raw)
+	}
+
+	// GET on the same view is a read, not a registration: no
+	// diagnostics attached.
+	code, raw = doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/d/views/v", nil, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("view get: status %d, body %s", code, raw)
+	}
+	if strings.Contains(string(raw), "diagnostics") {
+		t.Errorf("view GET must not carry diagnostics: %s", raw)
+	}
+}
+
+func TestServerMetricsExposeLintCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doJSON(t, http.MethodPost, ts.URL+"/v1/lint",
+		map[string]any{"program": deadRuleProgram, "ics": deadRuleICs}, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "sqod_lint_runs_total 1") {
+		t.Errorf("metrics missing sqod_lint_runs_total 1")
+	}
+	if !strings.Contains(body, "sqod_lint_findings_total 5") {
+		t.Errorf("metrics missing sqod_lint_findings_total 5")
+	}
+}

@@ -37,6 +37,10 @@ type Metrics struct {
 	QueryCancels  atomic.Int64
 	QueryBudgets  atomic.Int64
 
+	// Static analysis.
+	LintRuns     atomic.Int64
+	LintFindings atomic.Int64
+
 	Datasets atomic.Int64 // gauge: registered datasets
 
 	// Mutable datasets and incremental maintenance.
@@ -138,6 +142,9 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	counter("sqod_query_timeouts_total", "Queries stopped by deadline expiry.", m.QueryTimeouts.Load())
 	counter("sqod_query_cancels_total", "Queries stopped by client cancellation.", m.QueryCancels.Load())
 	counter("sqod_query_budget_exceeded_total", "Queries stopped by the derived-tuple budget.", m.QueryBudgets.Load())
+
+	counter("sqod_lint_runs_total", "Lint runs (POST /v1/lint plus registration diagnostics).", m.LintRuns.Load())
+	counter("sqod_lint_findings_total", "Findings emitted across all lint runs.", m.LintFindings.Load())
 
 	gauge("sqod_datasets", "Registered fact datasets.", m.Datasets.Load())
 	gauge("sqod_views", "Live materialized views.", m.Views.Load())

@@ -135,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/datasets/{name}/views/{view}", s.instrument("view_get", s.handleViewGet))
 	mux.Handle("DELETE /v1/datasets/{name}/views/{view}", s.instrument("view_delete", s.handleViewDelete))
 	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
+	mux.Handle("POST /v1/lint", s.instrument("lint", s.handleLint))
 	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
 	if s.cfg.EnablePprof {
 		// net/http/pprof only self-registers on http.DefaultServeMux;
@@ -302,8 +303,12 @@ type optimizeResponse struct {
 	Satisfiable bool     `json:"satisfiable"`
 	Explain     string   `json:"explain,omitempty"`
 	Warnings    []string `json:"warnings,omitempty"`
-	CacheHit    bool     `json:"cache_hit"`
-	OptimizeMS  float64  `json:"optimize_ms"`
+	// Diagnostics carries the semantic linter's findings on the
+	// program as submitted (advisory; POST /v1/lint for the full
+	// report form).
+	Diagnostics []sqo.LintFinding `json:"diagnostics,omitempty"`
+	CacheHit    bool              `json:"cache_hit"`
+	OptimizeMS  float64           `json:"optimize_ms"`
 }
 
 // optimizeCached parses, hashes, and rewrites through the cache.
@@ -377,6 +382,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Satisfiable: res.Satisfiable,
 		Explain:     sqo.Explain(res),
 		Warnings:    res.Warnings,
+		Diagnostics: s.lintDiagnostics(r.Context(), req.Program, req.ICs),
 		CacheHit:    hit,
 		OptimizeMS:  float64(time.Since(start).Microseconds()) / 1000,
 	})

@@ -181,15 +181,18 @@ func toViewStats(s sqo.ViewStats) viewStatsJSON {
 }
 
 type viewResponse struct {
-	Name          string        `json:"name"`
-	Dataset       string        `json:"dataset"`
-	Query         string        `json:"query"`
-	Answers       []string      `json:"answers"`
-	AnswerCount   int           `json:"answer_count"`
-	Optimized     bool          `json:"optimized"`
-	CacheHit      bool          `json:"cache_hit,omitempty"`
-	Stats         viewStatsJSON `json:"stats"`
-	MaterializeMS float64       `json:"materialize_ms,omitempty"`
+	Name        string   `json:"name"`
+	Dataset     string   `json:"dataset"`
+	Query       string   `json:"query"`
+	Answers     []string `json:"answers"`
+	AnswerCount int      `json:"answer_count"`
+	Optimized   bool     `json:"optimized"`
+	CacheHit    bool     `json:"cache_hit,omitempty"`
+	// Diagnostics carries the semantic linter's findings on the
+	// program as submitted; present only on view creation.
+	Diagnostics   []sqo.LintFinding `json:"diagnostics,omitempty"`
+	Stats         viewStatsJSON     `json:"stats"`
+	MaterializeMS float64           `json:"materialize_ms,omitempty"`
 }
 
 // handleViewCreate materializes a program over a dataset and keeps it
@@ -277,7 +280,8 @@ func (s *Server) handleViewCreate(w http.ResponseWriter, r *http.Request) {
 	ds.mu.Unlock()
 	s.metrics.Views.Add(1)
 
-	s.respondView(w, ds, mv, cacheHit, float64(time.Since(start).Microseconds())/1000)
+	s.respondView(w, ds, mv, cacheHit, float64(time.Since(start).Microseconds())/1000,
+		s.lintDiagnostics(ctx, req.Program, req.ICs))
 }
 
 // handleViewGet returns a view's current answers (GET
@@ -297,7 +301,7 @@ func (s *Server) handleViewGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown_view", "view %q is not registered on dataset %q", vname, name)
 		return
 	}
-	s.respondView(w, ds, mv, false, 0)
+	s.respondView(w, ds, mv, false, 0, nil)
 }
 
 // handleViewDelete drops a view (DELETE /v1/datasets/{name}/views/{view}).
@@ -323,7 +327,7 @@ func (s *Server) handleViewDelete(w http.ResponseWriter, r *http.Request) {
 // respondView renders a view's current answers and statistics.
 // Answers() repairs a broken view first, so a view that failed an
 // update deadline serves correct (rebuilt) answers here.
-func (s *Server) respondView(w http.ResponseWriter, ds *dataset, mv *matView, cacheHit bool, materializeMS float64) {
+func (s *Server) respondView(w http.ResponseWriter, ds *dataset, mv *matView, cacheHit bool, materializeMS float64, diagnostics []sqo.LintFinding) {
 	tuples, err := mv.view.Answers()
 	if err != nil {
 		s.writeEvalError(w, err)
@@ -341,6 +345,7 @@ func (s *Server) respondView(w http.ResponseWriter, ds *dataset, mv *matView, ca
 		AnswerCount:   len(answers),
 		Optimized:     mv.optimized,
 		CacheHit:      cacheHit,
+		Diagnostics:   diagnostics,
 		Stats:         toViewStats(mv.view.Stats()),
 		MaterializeMS: materializeMS,
 	})

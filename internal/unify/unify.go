@@ -63,7 +63,7 @@ func (s Subst) ApplyCmp(c ast.Cmp) ast.Cmp {
 
 // ApplyRule returns r with the substitution applied throughout.
 func (s Subst) ApplyRule(r ast.Rule) ast.Rule {
-	out := ast.Rule{Head: s.ApplyAtom(r.Head)}
+	out := ast.Rule{Head: s.ApplyAtom(r.Head), At: r.At}
 	for _, a := range r.Pos {
 		out.Pos = append(out.Pos, s.ApplyAtom(a))
 	}
@@ -78,7 +78,7 @@ func (s Subst) ApplyRule(r ast.Rule) ast.Rule {
 
 // ApplyIC returns ic with the substitution applied throughout.
 func (s Subst) ApplyIC(ic ast.IC) ast.IC {
-	out := ast.IC{}
+	out := ast.IC{At: ic.At}
 	for _, a := range ic.Pos {
 		out.Pos = append(out.Pos, s.ApplyAtom(a))
 	}

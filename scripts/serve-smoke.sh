@@ -71,11 +71,25 @@ curl -fsS "$BASE/v1/datasets/quickstart/views/paths" >"$WORK/v3.json" || fail "v
 jq -e '.answer_count == 8' "$WORK/v3.json" >/dev/null || fail "view not restored: $(cat "$WORK/v3.json")"
 [ "$(jq -cS .answers "$WORK/v1.json")" = "$(jq -cS .answers "$WORK/v3.json")" ] || fail "view answers differ after add+retract round trip"
 
+echo "serve-smoke: linting a program with a known-dead rule"
+LINT='{
+  "program": "p(X) :- a(X, Y), b(Y, X). q(X) :- p(X). r(X) :- c(X, X). r(X) :- p(X), c(X, X). ?- r.",
+  "ics": ":- a(X, Y), b(Y, Z)."
+}'
+curl -fsS -X POST "$BASE/v1/lint" -H 'Content-Type: application/json' -d "$LINT" >"$WORK/lint.json" || fail "lint request failed"
+jq -e '.errors == 1' "$WORK/lint.json" >/dev/null || fail "expected 1 lint error: $(cat "$WORK/lint.json")"
+jq -e '[.findings[] | select(.id == "unsat-body")] | length == 1' "$WORK/lint.json" >/dev/null \
+	|| fail "unsat-body finding missing: $(cat "$WORK/lint.json")"
+jq -e '[.findings[] | select(.id == "dead-rule")] | length == 2' "$WORK/lint.json" >/dev/null \
+	|| fail "dead-rule findings missing: $(cat "$WORK/lint.json")"
+
 echo "serve-smoke: scraping /metrics"
 curl -fsS "$BASE/metrics" >"$WORK/metrics.txt" || fail "metrics scrape failed"
 grep -Eq '^sqod_cache_hits_total [1-9]' "$WORK/metrics.txt" || fail "sqod_cache_hits_total not positive"
 grep -Eq '^sqod_cache_misses_total [1-9]' "$WORK/metrics.txt" || fail "sqod_cache_misses_total not positive"
 grep -q '^sqod_requests_total' "$WORK/metrics.txt" || fail "sqod_requests_total missing"
+grep -Eq '^sqod_lint_runs_total [1-9]' "$WORK/metrics.txt" || fail "sqod_lint_runs_total not positive"
+grep -Eq '^sqod_lint_findings_total [1-9]' "$WORK/metrics.txt" || fail "sqod_lint_findings_total not positive"
 
 echo "serve-smoke: SIGTERM — expecting a clean drain"
 kill -TERM "$SQOD_PID"

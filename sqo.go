@@ -41,12 +41,14 @@ package sqo
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/ast"
 	"repro/internal/contain"
 	"repro/internal/emptiness"
 	"repro/internal/eval"
 	"repro/internal/incr"
+	"repro/internal/lint"
 	"repro/internal/parser"
 	"repro/internal/qtree"
 	"repro/internal/residue"
@@ -332,4 +334,33 @@ func EvalProv(p *Program, edb *DB) (*DB, func(Atom) (*Derivation, error), *Stats
 		return prov.Tree(fact, idbPreds, edb)
 	}
 	return idb, explain, stats, nil
+}
+
+// LintOptions bounds the semantic checks of the static analyzer.
+type LintOptions = lint.Options
+
+// LintReport is the structured result of a lint run.
+type LintReport = lint.Report
+
+// LintFinding is one diagnostic of a lint run.
+type LintFinding = lint.Finding
+
+// Lint runs the semantic static analyzer: unsatisfiable rule bodies,
+// empty predicates and dead rules, subsumed rules, undecidability
+// guardrails, and hygiene checks. The context bounds the semantic
+// checks; cancellation degrades verdicts to Unknown, never to a wrong
+// answer.
+func Lint(ctx context.Context, p *Program, ics []IC, facts []Atom, opts LintOptions) *LintReport {
+	return lint.Run(ctx, p, ics, facts, opts)
+}
+
+// WriteLintText renders a lint report in compiler-diagnostic text
+// form, prefixing each finding with name when non-empty.
+func WriteLintText(w io.Writer, name string, rep *LintReport) error {
+	return lint.WriteText(w, name, rep)
+}
+
+// WriteLintJSON renders a lint report as deterministic indented JSON.
+func WriteLintJSON(w io.Writer, rep *LintReport) error {
+	return lint.WriteJSON(w, rep)
 }
