@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-compare fuzz-smoke incr-smoke lint-smoke serve serve-smoke ci
+.PHONY: build vet fmt test race bench bench-compare bench-regression fuzz-smoke incr-smoke lint-smoke serve serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,8 +32,8 @@ bench:
 # Legacy engine vs compiled join plans on the evaluation benchmarks,
 # via the SQO_EVAL_ENGINE override honored by benchEvalWith. Summarized
 # with benchstat when it is installed (go install
-# golang.org/x/perf/cmd/benchstat@latest); falls back to printing the
-# raw runs otherwise.
+# golang.org/x/perf/cmd/benchstat@v0.0.0-20230113213139-801c7ef9e5c5,
+# the version CI pins); falls back to printing the raw runs otherwise.
 BENCH_COMPARE_PAT ?= 'BenchmarkE1GoodPath|BenchmarkE3ABPaths|BenchmarkP1Parallel'
 BENCH_COMPARE_COUNT ?= 5
 
@@ -47,6 +47,19 @@ bench-compare:
 	else \
 		echo "benchstat not installed; raw runs are in bench-legacy.txt and bench-compiled.txt"; \
 	fi
+
+# Re-run the JSON-emitting experiments and diff against the committed
+# baselines — the same commands the CI bench-regression job runs.
+# Regenerate a baseline deliberately with e.g.
+#   go run ./cmd/sqobench -run P6 -out BENCH_6.json
+bench-regression:
+	mkdir -p bench-out
+	$(GO) run ./cmd/sqobench -run P3 -out bench-out/bench3.json
+	$(GO) run ./cmd/sqobench -run P4 -out bench-out/bench4.json
+	$(GO) run ./cmd/sqobench -run P6 -out bench-out/bench6.json
+	$(GO) run ./cmd/benchdiff -label P3 -baseline BENCH_3.json -current bench-out/bench3.json
+	$(GO) run ./cmd/benchdiff -label P4 -baseline BENCH_4.json -current bench-out/bench4.json
+	$(GO) run ./cmd/benchdiff -label P6 -baseline BENCH_6.json -current bench-out/bench6.json
 
 # A short native-fuzzing pass over the parser. Long enough to exercise
 # the mutator, short enough for CI; sustained campaigns should raise

@@ -1,0 +1,223 @@
+// benchdiff compares two sqobench JSON reports (the committed BENCH_*.json
+// baseline vs a fresh run) and prints a per-row markdown delta table,
+// suitable for piping into a CI job summary.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_3.json -current bench3.json [-label P3]
+//
+// Rows are matched by the concatenation of their string-valued fields
+// (workload, engine, policy, ...). Numeric fields split into two
+// classes:
+//
+//   - Timing and allocation fields (ns_op, plan_ns, run_ns, *_ns,
+//     allocs_op) are noisy on shared runners: a row regresses only when
+//     the current value exceeds 2x the baseline AND the absolute growth
+//     clears a noise floor (250µs for timings), so micro-measurements
+//     cannot flap the job.
+//   - Everything else (probes, answers, derived, reorders) is work the
+//     engine does deterministically; any change is reported, and growth
+//     counts as a regression.
+//
+// Exit status: 0 when no row regressed, 1 on regression, 2 on usage or
+// parse errors. Rows present on only one side are reported but never
+// fail the run (experiments gain and lose cases across PRs).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+type report struct {
+	Rows []map[string]any `json:"results"`
+}
+
+// timingFactor is the noise-tolerant regression threshold for wall
+// clock and allocation counts.
+const timingFactor = 2.0
+
+// timingFloorNs: timing deltas under this absolute growth never count
+// as regressions, whatever the ratio (micro-benchmarks double from
+// scheduler jitter alone).
+const timingFloorNs = 250_000.0
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON (required)")
+	currentPath := flag.String("current", "", "freshly generated JSON (required)")
+	label := flag.String("label", "", "experiment label for the table heading")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	if *label != "" {
+		fmt.Printf("### %s: %s vs %s\n\n", *label, *baselinePath, *currentPath)
+	}
+	fmt.Println("| row | metric | baseline | current | delta | verdict |")
+	fmt.Println("|---|---|---:|---:|---:|---|")
+
+	regressed := false
+	seen := map[string]bool{}
+	for _, brow := range base.Rows {
+		k := rowKey(brow)
+		seen[k] = true
+		crow, ok := findRow(cur.Rows, k)
+		if !ok {
+			fmt.Printf("| %s | — | — | — | — | missing from current (info) |\n", k)
+			continue
+		}
+		for _, metric := range numericFields(brow) {
+			bv, cv := asFloat(brow[metric]), asFloat(crow[metric])
+			verdict, bad := judge(metric, bv, cv)
+			if bad {
+				regressed = true
+			}
+			if verdict == "" {
+				continue // unchanged and uninteresting
+			}
+			fmt.Printf("| %s | %s | %s | %s | %+.1f%% | %s |\n",
+				k, metric, formatVal(metric, bv), formatVal(metric, cv), pct(bv, cv), verdict)
+		}
+	}
+	for _, crow := range cur.Rows {
+		if k := rowKey(crow); !seen[k] {
+			fmt.Printf("| %s | — | — | — | — | new row (info) |\n", k)
+		}
+	}
+
+	if regressed {
+		fmt.Println("\n**regression detected** (see verdicts above)")
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &r, nil
+}
+
+// rowKey joins the string-valued fields in sorted field order, so rows
+// match by identity (workload, engine, policy, ...) regardless of
+// which experiment produced them.
+func rowKey(row map[string]any) string {
+	keys := make([]string, 0, len(row))
+	for k, v := range row {
+		if _, ok := v.(string); ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = row[k].(string)
+	}
+	return strings.Join(parts, " / ")
+}
+
+func findRow(rows []map[string]any, key string) (map[string]any, bool) {
+	for _, r := range rows {
+		if rowKey(r) == key {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+func numericFields(row map[string]any) []string {
+	var out []string
+	for k, v := range row {
+		if _, ok := v.(float64); ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func asFloat(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func isTiming(metric string) bool {
+	return strings.HasSuffix(metric, "_ns") || metric == "ns_op" || metric == "allocs_op"
+}
+
+// judge classifies one metric delta. The empty verdict suppresses the
+// row (unchanged deterministic metric); bad marks a regression.
+func judge(metric string, base, cur float64) (verdict string, bad bool) {
+	if isTiming(metric) {
+		grew := cur > timingFactor*base
+		if strings.HasSuffix(metric, "_ns") || metric == "ns_op" {
+			grew = grew && cur-base > timingFloorNs
+		}
+		if grew {
+			return "**slower >2x**", true
+		}
+		if base > 0 && cur < base/timingFactor {
+			return "faster", false
+		}
+		return "ok", false
+	}
+	switch {
+	case cur == base:
+		return "", false
+	case cur > base:
+		return "**more work**", true
+	default:
+		return "less work", false
+	}
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur - base) / base
+}
+
+func formatVal(metric string, v float64) string {
+	if strings.HasSuffix(metric, "_ns") || metric == "ns_op" {
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.2fs", v/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.1fms", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.0fµs", v/1e3)
+		}
+		return fmt.Sprintf("%.0fns", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	sqoc [-facts file] [-explain] [-baseline] [-stats] [-parallel n]
-//	     [-timeout d] [-budget n] [file]
+//	     [-order greedy|cost|adaptive] [-timeout d] [-budget n] [file]
 //
 // Exit status:
 //
@@ -50,9 +50,15 @@ func main() {
 	why := flag.Bool("why", false, "print a derivation tree for each answer (requires facts)")
 	lintFlag := flag.Bool("lint", false, "run the semantic linter before optimizing; exit 1 on lint errors")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = one per CPU, 1 = sequential)")
+	order := flag.String("order", "", "join-order policy: greedy (default), cost, or adaptive")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on optimization + evaluation (0 = none)")
 	budget := flag.Int64("budget", 0, "derived-tuple budget per evaluation (0 = unlimited)")
 	flag.Parse()
+
+	policy, err := sqo.ParseJoinOrderPolicy(*order)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -128,6 +134,7 @@ func main() {
 		opts := sqo.DefaultEvalOptions()
 		opts.Workers = *parallel
 		opts.MaxTuples = *budget
+		opts.Policy = policy
 		origTuples, origStats, err := sqo.QueryCtx(ctx, unit.Program, db, opts)
 		if err != nil {
 			fatal(err, *timeout, *budget)

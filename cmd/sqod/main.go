@@ -18,8 +18,8 @@
 //
 //	sqod [-addr :8351] [-max-inflight n] [-cache-size n]
 //	     [-timeout 30s] [-max-timeout 5m] [-update-timeout 30s]
-//	     [-max-tuples n] [-workers n] [-drain 30s] [-log text|json]
-//	     [-pprof=false]
+//	     [-max-tuples n] [-workers n] [-join-order greedy|cost|adaptive]
+//	     [-drain 30s] [-log text|json] [-pprof=false]
 //
 // Endpoints:
 //
@@ -66,6 +66,7 @@ func main() {
 	updateTimeout := flag.Duration("update-timeout", 0, "per-update deadline for dataset mutations incl. view maintenance (0 = -timeout)")
 	maxTuples := flag.Int64("max-tuples", 0, "per-query derived-tuple budget (0 = unlimited)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = one per CPU)")
+	joinOrder := flag.String("join-order", "", "default join-order policy: greedy, cost, or adaptive")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	enablePprof := flag.Bool("pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
@@ -88,6 +89,7 @@ func main() {
 		UpdateTimeout:  *updateTimeout,
 		MaxTuples:      *maxTuples,
 		Workers:        *workers,
+		JoinOrder:      *joinOrder,
 		Logger:         logger,
 		EnablePprof:    *enablePprof,
 	})

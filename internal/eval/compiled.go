@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 )
@@ -28,6 +29,7 @@ func evalCompiled(ctx context.Context, p *ast.Program, edb *DB, opts Options, pr
 		ctx:     ctx,
 		prog:    p,
 		opts:    opts,
+		policy:  opts.effectivePolicy(),
 		workers: opts.effectiveWorkers(),
 		stats:   &Stats{},
 		prov:    prov,
@@ -45,6 +47,7 @@ type cEvaluator struct {
 	ctx     context.Context
 	prog    *ast.Program
 	opts    Options
+	policy  JoinOrderPolicy
 	workers int
 	stats   *Stats
 	idbPr   map[string]bool
@@ -53,7 +56,16 @@ type cEvaluator struct {
 	idb     map[string]*irel
 	delta   map[string]*irel // tuples new in the previous round (semi-naive)
 	plans   map[planKey]*plan
-	prov    *Provenance
+	// Cost/adaptive state (nil under greedy): cur holds the plans the
+	// current round runs, re-chosen at every round barrier from live
+	// relation statistics; planCache memoizes compiled plans by join
+	// order so a recurring order costs one map hit; curEst holds the
+	// per-depth match estimates backing the adaptive misestimate check.
+	// All three are touched only at single-threaded round barriers.
+	cur       map[planKey]*plan
+	planCache map[planKey]map[string]*plan
+	curEst    map[planKey][]float64
+	prov      *Provenance
 }
 
 // prepare compiles the program's plans and interns the EDB relations
@@ -67,13 +79,25 @@ func (ev *cEvaluator) prepare(edb *DB) error {
 	}
 	ev.in = newInterner()
 	ev.plans = map[planKey]*plan{}
+	planStart := time.Now()
 	for i, r := range ev.prog.Rules {
 		ev.plans[planKey{i, -1}] = compilePlan(ev.in, ev.idbPr, r, i, -1)
+		ev.stats.PlansCompiled++
 		for occ, a := range r.Pos {
 			if ev.idbPr[a.Pred] {
 				ev.plans[planKey{i, occ}] = compilePlan(ev.in, ev.idbPr, r, i, occ)
+				ev.stats.PlansCompiled++
 			}
 		}
+	}
+	ev.stats.PlanNanos += time.Since(planStart).Nanoseconds()
+	if ev.policy != PolicyGreedy {
+		// The greedy plans above stay the constant-interning pass and
+		// the cache seed; the round loop re-chooses orders from live
+		// statistics before building each round's tasks.
+		ev.cur = map[planKey]*plan{}
+		ev.planCache = map[planKey]map[string]*plan{}
+		ev.curEst = map[planKey][]float64{}
 	}
 
 	referenced := map[string]bool{}
@@ -123,11 +147,94 @@ func (ev *cEvaluator) run() error {
 	return ev.runNaive()
 }
 
+// planFor resolves the plan a task runs: the current round's
+// cost-chosen plan when the policy re-plans, the prepare-time greedy
+// plan otherwise.
+func (ev *cEvaluator) planFor(ruleIdx, occ int) *plan {
+	if ev.cur != nil {
+		if pl, ok := ev.cur[planKey{ruleIdx, occ}]; ok {
+			return pl
+		}
+	}
+	return ev.plans[planKey{ruleIdx, occ}]
+}
+
+// planRound re-chooses this round's join orders from live relation
+// statistics (cost/adaptive; greedy returns immediately). Runs at the
+// round barrier, before tasks are built, so firstRelLen partitions the
+// relation the chosen plan actually scans at depth 0.
+func (ev *cEvaluator) planRound(keys []planKey, prevDelta map[string]*irel) {
+	if ev.policy == PolicyGreedy {
+		return
+	}
+	start := time.Now()
+	for _, k := range keys {
+		r := ev.prog.Rules[k.ruleIdx]
+		order, ests := costJoinOrder(r, k.occ, ev.estFor(r, k.occ, prevDelta), nil)
+		ev.cur[k] = ev.planOrdered(k, r, order)
+		ev.curEst[k] = ests
+	}
+	ev.stats.PlanNanos += time.Since(start).Nanoseconds()
+}
+
+// planOrdered returns a compiled plan for the given order, reusing the
+// prepare-time greedy plan when the orders coincide and memoizing
+// everything else by order signature.
+func (ev *cEvaluator) planOrdered(k planKey, r ast.Rule, order []int) *plan {
+	if base := ev.plans[k]; intsEqual(base.order, order) {
+		return base
+	}
+	sig := orderSig(order)
+	byOrder := ev.planCache[k]
+	if byOrder == nil {
+		byOrder = map[string]*plan{}
+		ev.planCache[k] = byOrder
+	}
+	pl := byOrder[sig]
+	if pl == nil {
+		pl = compilePlanOrdered(ev.in, ev.idbPr, r, k.ruleIdx, k.occ, false, order)
+		ev.stats.PlansCompiled++
+		byOrder[sig] = pl
+	}
+	return pl
+}
+
+// estFor resolves subgoal statistics against the current snapshot
+// relations. Safe to call from inside a running task (adaptive
+// reorders): rounds only read frozen relations, and the sketches are
+// written solely at the merge barrier.
+func (ev *cEvaluator) estFor(r ast.Rule, occ int, prevDelta map[string]*irel) estFunc {
+	return func(si int) relEstimate {
+		a := r.Pos[si]
+		var rel *irel
+		switch {
+		case si == occ:
+			rel = prevDelta[a.Pred]
+		case ev.idbPr[a.Pred]:
+			rel = ev.idb[a.Pred]
+		default:
+			rel = ev.edb[a.Pred]
+		}
+		return irelEstimate(rel)
+	}
+}
+
+// taskParts is the partition count for depth-0 range splitting. The
+// adaptive policy disables partitioning: its decisions are task-local,
+// so tasks must be identical for every worker count to keep answers,
+// Stats, and provenance worker-invariant.
+func (ev *cEvaluator) taskParts() int {
+	if ev.policy == PolicyAdaptive {
+		return 1
+	}
+	return ev.workers
+}
+
 // firstRelLen mirrors evaluator.firstRelLen, except that the depth-0
-// relation is the plan's first subgoal in greedy order (which the
+// relation is the plan's first subgoal in plan order (which the
 // partition ranges apply to), not necessarily Pos[0].
 func (ev *cEvaluator) firstRelLen(ruleIdx, occ int, prevDelta map[string]*irel) int {
-	pl := ev.plans[planKey{ruleIdx, occ}]
+	pl := ev.planFor(ruleIdx, occ)
 	if len(pl.subs) == 0 {
 		return 0
 	}
@@ -165,6 +272,16 @@ func deltaTotal(d map[string]*irel) int {
 	return n
 }
 
+// buildTasks plans the round's keys under the active policy and then
+// expands them into (possibly partitioned) tasks.
+func (ev *cEvaluator) buildTasks(tasks []task, keys []planKey, prevDelta map[string]*irel) []task {
+	ev.planRound(keys, prevDelta)
+	for _, k := range keys {
+		tasks = appendPartitioned(tasks, task{ruleIdx: k.ruleIdx, occ: k.occ}, ev.firstRelLen(k.ruleIdx, k.occ, prevDelta), ev.taskParts())
+	}
+	return tasks
+}
+
 func (ev *cEvaluator) runNaive() error {
 	for {
 		if err := ev.ctx.Err(); err != nil {
@@ -172,11 +289,11 @@ func (ev *cEvaluator) runNaive() error {
 		}
 		ev.stats.Iterations++
 		before := ev.stats.TuplesDerived
-		var tasks []task
+		keys := make([]planKey, 0, len(ev.prog.Rules))
 		for i := range ev.prog.Rules {
-			tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(i, -1, nil), ev.workers)
+			keys = append(keys, planKey{i, -1})
 		}
-		if err := ev.runRound(tasks, nil); err != nil {
+		if err := ev.runRound(ev.buildTasks(nil, keys, nil), nil); err != nil {
 			return err
 		}
 		if ev.stats.TuplesDerived == before {
@@ -191,16 +308,17 @@ func (ev *cEvaluator) runSeminaive() error {
 		return err
 	}
 	ev.stats.Iterations++
-	var tasks []task
+	var keys []planKey
 	for i, r := range ev.prog.Rules {
 		if !r.IsInit(ev.idbPr) {
 			continue
 		}
-		tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(i, -1, nil), ev.workers)
+		keys = append(keys, planKey{i, -1})
 	}
-	if err := ev.runRound(tasks, nil); err != nil {
+	if err := ev.runRound(ev.buildTasks(nil, keys, nil), nil); err != nil {
 		return err
 	}
+	var tasks []task
 	for {
 		if deltaTotal(ev.delta) == 0 {
 			return nil
@@ -211,19 +329,29 @@ func (ev *cEvaluator) runSeminaive() error {
 		prevDelta := ev.delta
 		ev.delta = ev.newDelta()
 		ev.stats.Iterations++
-		tasks = tasks[:0]
+		keys = keys[:0]
 		for i, r := range ev.prog.Rules {
 			for occ, a := range r.Pos {
 				if !ev.idbPr[a.Pred] {
 					continue
 				}
-				tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: occ}, ev.firstRelLen(i, occ, prevDelta), ev.workers)
+				keys = append(keys, planKey{i, occ})
 			}
 		}
+		tasks = ev.buildTasks(tasks[:0], keys, prevDelta)
 		if err := ev.runRound(tasks, prevDelta); err != nil {
 			return err
 		}
 	}
+}
+
+// planSeg records, for provenance under adaptive reorders, which plan
+// was live from a given head index onward: a head row must be
+// materialized with the plan (and slot numbering) that produced its
+// binding snapshot.
+type planSeg struct {
+	fromHead int
+	pl       *plan
 }
 
 // cTaskResult is the private output buffer of one compiled task: the
@@ -235,7 +363,13 @@ type cTaskResult struct {
 	snaps    []uint32 // nSlots values per head
 	probes   int64
 	firings  int64
-	err      error
+	// Adaptive-policy accounting, merged into Stats at the barrier.
+	skips         int64
+	reorders      int64
+	plansCompiled int64
+	planNanos     int64
+	segs          []planSeg // mid-task plan swaps (provenance only)
+	err           error
 }
 
 // runRound mirrors evaluator.runRound: bounded worker pool, results
@@ -280,9 +414,18 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 		}
 		ev.stats.JoinProbes += res.probes
 		ev.stats.RuleFirings += res.firings
-		pl := ev.plans[planKey{tasks[i].ruleIdx, tasks[i].occ}]
+		ev.stats.AdaptiveSkips += res.skips
+		ev.stats.AdaptiveReorders += res.reorders
+		ev.stats.PlansCompiled += res.plansCompiled
+		ev.stats.PlanNanos += res.planNanos
+		pl := ev.planFor(tasks[i].ruleIdx, tasks[i].occ)
 		ha := len(pl.head.isConst)
 		idbRel := ev.idb[pl.head.pred]
+		// Under adaptive reorders the task may have switched plans
+		// mid-run; provPl tracks the plan live for each head index so
+		// its snapshot is decoded with the right slot numbering. The
+		// snap stride itself is uniform — nSlots is order-invariant.
+		provPl, segIdx := pl, 0
 		for h := 0; h < res.nHeads; h++ {
 			row := res.headRows[h*ha : (h+1)*ha]
 			if !idbRel.add(row) {
@@ -294,8 +437,12 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 				ev.delta[pl.head.pred].add(row)
 			}
 			if ev.prov != nil {
-				snap := res.snaps[h*pl.nSlots : (h+1)*pl.nSlots]
-				fact, step := ev.materialize(pl, snap)
+				for segIdx < len(res.segs) && res.segs[segIdx].fromHead <= h {
+					provPl = res.segs[segIdx].pl
+					segIdx++
+				}
+				snap := res.snaps[h*provPl.nSlots : (h+1)*provPl.nSlots]
+				fact, step := ev.materialize(provPl, snap)
 				ev.prov.steps[fact.Key()] = step
 			}
 		}
@@ -349,10 +496,25 @@ type cTaskRun struct {
 	seen      rowHash // dedups headRows within this task
 	res       cTaskResult
 	base      int64
+	// Adaptive-policy state (nil matches/est under other policies):
+	// per-depth match counters and the planner's per-depth estimates,
+	// compared between depth-0 rows by maybeReorder.
+	est       []float64
+	matches   []int64
+	reordered bool
 }
 
 func (ev *cEvaluator) runTask(t task, prevDelta map[string]*irel) cTaskResult {
-	pl := ev.plans[planKey{t.ruleIdx, t.occ}]
+	pl := ev.planFor(t.ruleIdx, t.occ)
+	if ev.policy == PolicyAdaptive {
+		// Early exit on empty intermediates: a rule with any empty
+		// positive subgoal cannot fire, whatever the join order.
+		for i := range pl.subs {
+			if rel := ev.subRel(&pl.subs[i], prevDelta); rel == nil || rel.n == 0 {
+				return cTaskResult{skips: 1}
+			}
+		}
+	}
 	tr := &cTaskRun{
 		ev:    ev,
 		pl:    pl,
@@ -361,13 +523,12 @@ func (ev *cEvaluator) runTask(t task, prevDelta map[string]*irel) cTaskResult {
 		hi:    t.hi,
 		base:  ev.stats.TuplesDerived,
 	}
-	tr.binding = make([]uint32, pl.nSlots)
-	tr.probeBufs = make([][]uint32, len(pl.subs))
-	for i := range pl.subs {
-		if n := len(pl.subs[i].boundPos); n > 0 {
-			tr.probeBufs[i] = make([]uint32, n)
-		}
+	if ev.policy == PolicyAdaptive && len(pl.subs) > 1 {
+		tr.est = ev.curEst[planKey{t.ruleIdx, t.occ}]
+		tr.matches = make([]int64, len(pl.subs))
 	}
+	tr.binding = make([]uint32, pl.nSlots)
+	tr.probeBufs = makeProbeBufs(pl)
 	if pl.maxNegArity > 0 {
 		tr.negBuf = make([]uint32, pl.maxNegArity)
 	}
@@ -378,6 +539,16 @@ func (ev *cEvaluator) runTask(t task, prevDelta map[string]*irel) cTaskResult {
 		tr.res.err = err
 	}
 	return tr.res
+}
+
+func makeProbeBufs(pl *plan) [][]uint32 {
+	bufs := make([][]uint32, len(pl.subs))
+	for i := range pl.subs {
+		if n := len(pl.subs[i].boundPos); n > 0 {
+			bufs[i] = make([]uint32, n)
+		}
+	}
+	return bufs
 }
 
 // joinFrom extends the slot binding over the plan's subgoals starting
@@ -422,6 +593,9 @@ func (tr *cTaskRun) joinFrom(depth int) error {
 			if err := tr.tryRow(depth, rel.row(int(ri)), false); err != nil {
 				return err
 			}
+			if depth == 0 && tr.matches != nil {
+				tr.maybeReorder()
+			}
 		}
 		return nil
 	}
@@ -429,8 +603,81 @@ func (tr *cTaskRun) joinFrom(depth int) error {
 		if err := tr.tryRow(depth, rel.row(i), true); err != nil {
 			return err
 		}
+		if depth == 0 && tr.matches != nil {
+			tr.maybeReorder()
+		}
 	}
 	return nil
+}
+
+// Adaptive mid-task reorder thresholds: an observation needs a minimum
+// sample before it is trusted, and must be more than adaptFactor above
+// the planner's estimate (the issue's ">10x off" rule) to trigger.
+const (
+	adaptMinMatches = 32
+	adaptFactor     = 10.0
+)
+
+// maybeReorder is the adaptive policy's checkpoint, run between
+// depth-0 rows (so no deeper join frame is live). It compares each
+// depth's observed fan-out — matches[d] per arrival, where arrivals at
+// depth d are matches[d-1] — against the plan estimate; on a >10x
+// misestimate it recomputes the tail order with the observation fed
+// back, compiles the new plan task-privately (the interner is only
+// read: every rule constant was interned in prepare), and swaps it in.
+// The depth-0 subgoal is pinned — its iteration is in progress — and
+// the binding buffer carries over: nSlots is order-invariant, and a
+// slot is only read at depths where the live plan bound it, the same
+// argument that lets backtracking skip undo. At most one reorder per
+// task, and every input is task-local and content-deterministic, so
+// results stay identical for every worker count.
+func (tr *cTaskRun) maybeReorder() {
+	if tr.reordered {
+		return
+	}
+	pl := tr.pl
+	var override map[int]float64
+	for d := 1; d < len(pl.subs); d++ {
+		arrivals := tr.matches[d-1]
+		if arrivals == 0 || tr.matches[d] < adaptMinMatches {
+			continue
+		}
+		est := tr.est[d]
+		if est < 1 {
+			est = 1
+		}
+		if float64(tr.matches[d]) > adaptFactor*est*float64(arrivals) {
+			if override == nil {
+				override = map[int]float64{}
+			}
+			override[pl.subs[d].subIdx] = float64(tr.matches[d]) / float64(arrivals)
+		}
+	}
+	if override == nil {
+		return
+	}
+	tr.reordered = true // one reorder per task, even if the order stands
+	ev := tr.ev
+	r := ev.prog.Rules[pl.ruleIdx]
+	start := time.Now()
+	order, ests := costJoinOrder(r, pl.order[0], ev.estFor(r, pl.occ, tr.delta), override)
+	if intsEqual(order, pl.order) {
+		tr.res.planNanos += time.Since(start).Nanoseconds()
+		return
+	}
+	npl := compilePlanOrdered(ev.in, ev.idbPr, r, pl.ruleIdx, pl.occ, false, order)
+	tr.res.planNanos += time.Since(start).Nanoseconds()
+	tr.res.plansCompiled++
+	tr.res.reorders++
+	if ev.prov != nil {
+		tr.res.segs = append(tr.res.segs, planSeg{fromHead: tr.res.nHeads, pl: npl})
+	}
+	tr.pl = npl
+	tr.est = ests
+	for d := range tr.matches {
+		tr.matches[d] = 0
+	}
+	tr.probeBufs = makeProbeBufs(npl)
 }
 
 // tryRow is the compiled tryTuple: one candidate row at one depth.
@@ -476,6 +723,9 @@ func (tr *cTaskRun) tryRow(depth int, row []uint32, verify bool) error {
 		if tr.negContains(&sp.negs[i]) {
 			return nil
 		}
+	}
+	if tr.matches != nil {
+		tr.matches[depth]++
 	}
 	return tr.joinFrom(depth + 1)
 }

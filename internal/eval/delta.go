@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 )
@@ -24,10 +25,11 @@ import (
 var errStopRun = errors.New("eval: stop delta run")
 
 // DeltaProgram is a compiled handle for delta evaluation of one
-// validated program. It is immutable after CompileDeltaProgram and safe
-// for concurrent RunDelta/Derivable calls only when the views passed in
-// are not being written — the intended single-writer discipline of
-// incremental maintenance.
+// validated program. Its compiled surface is immutable after
+// CompileDeltaProgram (the policy plan cache below is internally
+// synchronized) and safe for concurrent RunDelta/Derivable calls only
+// when the views passed in are not being written — the intended
+// single-writer discipline of incremental maintenance.
 type DeltaProgram struct {
 	prog      *ast.Program
 	idbPr     map[string]bool
@@ -35,6 +37,11 @@ type DeltaProgram struct {
 	in        *interner
 	plans     map[planKey]*plan
 	headPlans []*plan // per rule: head variables pre-bound (Derivable)
+	// Cost-ordered plans compiled on demand by RunDeltaPolicy, keyed by
+	// order signature. Guarded by mu — unlike the engine, delta runs
+	// have no single-threaded barrier to plan at.
+	mu      sync.Mutex
+	byOrder map[planKey]map[string]*plan
 }
 
 // CompileDeltaProgram validates p and compiles its plans. Unlike the
@@ -104,6 +111,14 @@ func (ir *IRel) Add(row []uint32) bool { return ir.r.add(row) }
 
 // Contains reports whether the relation holds the row.
 func (ir *IRel) Contains(row []uint32) bool { return ir.r.contains(row) }
+
+// DistinctEstimate returns the estimated number of distinct values in
+// column j — exact for small relations, a linear-counting sketch
+// estimate past the spill threshold (see stats.go). This is the
+// statistic RunDeltaPolicy's cost model consumes, exported so
+// incremental-maintenance tests can pin sketch maintenance across
+// retraction-driven rebuilds.
+func (ir *IRel) DistinctEstimate(j int) int { return ir.r.distinct(j) }
 
 // View returns a snapshot of the relation's current contents. Because
 // IRel is append-only, the snapshot stays frozen while later rows are
@@ -238,6 +253,90 @@ func (dp *DeltaProgram) RunDelta(ctx context.Context, ruleIdx, occ int, subs []R
 	tr := dp.newRun(ctx, pl, subs, negs, emit)
 	err := tr.joinFrom(0)
 	return tr.probes, err
+}
+
+// RunDeltaPolicy is RunDelta under a join-order policy. Greedy (or "")
+// runs the precompiled plan unchanged. Cost and adaptive order the
+// join per call from the views' statistics — row counts come from each
+// view's prefix length, distinct estimates from the backing relation's
+// sketches (a full-relation approximation of the prefix; documented
+// slack the cost model tolerates) — and adaptive additionally returns
+// immediately when any positive subgoal's view is empty. There is no
+// mid-run reorder in delta passes: they are short-lived and the emit
+// contract (every firing, caller-owned dedup) leaves no safe
+// checkpoint. Emission order can differ across policies; the counting
+// and DRed passes are order-insensitive (signed sums and sets), which
+// is what keeps View answers, counts, and provenance identical under
+// every policy.
+func (dp *DeltaProgram) RunDeltaPolicy(ctx context.Context, ruleIdx, occ int, policy JoinOrderPolicy, subs []RelView, negs func(string) RelView, emit func([]uint32) error) (int64, error) {
+	if policy == "" || policy == PolicyGreedy {
+		return dp.RunDelta(ctx, ruleIdx, occ, subs, negs, emit)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base, ok := dp.plans[planKey{ruleIdx, occ}]
+	if !ok {
+		return 0, fmt.Errorf("eval: no plan for rule %d occurrence %d", ruleIdx, occ)
+	}
+	r := dp.prog.Rules[ruleIdx]
+	if got, want := len(subs), len(r.Pos); got != want {
+		return 0, fmt.Errorf("eval: rule %d has %d subgoals, got %d views", ruleIdx, want, got)
+	}
+	if policy == PolicyAdaptive && len(r.Pos) > 0 {
+		for _, v := range subs {
+			if v.Len() == 0 {
+				return 0, nil // early exit: the rule cannot fire
+			}
+		}
+	}
+	order, _ := costJoinOrder(r, occ, func(si int) relEstimate { return viewEstimate(subs[si]) }, nil)
+	pl := base
+	if !intsEqual(order, base.order) {
+		pl = dp.planForOrder(ruleIdx, occ, order)
+	}
+	tr := dp.newRun(ctx, pl, subs, negs, emit)
+	err := tr.joinFrom(0)
+	return tr.probes, err
+}
+
+// viewEstimate snapshots a view's statistics for the cost model.
+func viewEstimate(v RelView) relEstimate {
+	if v.Rel == nil || v.Hi == 0 {
+		return relEstimate{}
+	}
+	rel := v.Rel.r
+	d := make([]int, rel.arity)
+	for j := range d {
+		d[j] = rel.distinct(j)
+	}
+	return relEstimate{n: v.Hi, distinct: d}
+}
+
+// planForOrder returns the cached plan for a cost-chosen order,
+// compiling it on first use. The recompile only read-hits the shared
+// interner — every constant the rule mentions was interned when the
+// base plans were compiled — so it is safe alongside concurrent
+// greedy-plan readers.
+func (dp *DeltaProgram) planForOrder(ruleIdx, occ int, order []int) *plan {
+	sig := orderSig(order)
+	k := planKey{ruleIdx, occ}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if dp.byOrder == nil {
+		dp.byOrder = map[planKey]map[string]*plan{}
+	}
+	m := dp.byOrder[k]
+	if m == nil {
+		m = map[string]*plan{}
+		dp.byOrder[k] = m
+	}
+	if pl := m[sig]; pl != nil {
+		return pl
+	}
+	pl := compilePlanOrdered(dp.in, dp.idbPr, dp.prog.Rules[ruleIdx], ruleIdx, occ, false, order)
+	m[sig] = pl
+	return pl
 }
 
 // Derivable reports whether head — an interned row of rule ruleIdx's

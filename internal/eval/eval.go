@@ -41,11 +41,36 @@ type Stats struct {
 	// incremental-maintenance work (internal/incr) comparable with full
 	// runs in sqobench and /metrics.
 	RoundDeltas []map[string]int64
+
+	// The fields below are planning diagnostics, not evaluation
+	// semantics. They are excluded from Equal: they legitimately differ
+	// across engines (the legacy engine compiles no plans) and across
+	// join-order policies, which is exactly what the P6 shootout
+	// measures. All except PlanNanos remain deterministic for a fixed
+	// program, database, and options.
+
+	// PlanNanos is wall-clock time spent choosing join orders and
+	// compiling plans, in nanoseconds. Measurement noise by nature;
+	// never assert on it.
+	PlanNanos int64
+	// PlansCompiled counts join-plan compilations, including per-round
+	// recompiles under the cost policy and mid-round recompiles under
+	// the adaptive policy.
+	PlansCompiled int64
+	// AdaptiveSkips counts rule tasks the adaptive policy discarded
+	// outright because a positive subgoal's relation was empty.
+	AdaptiveSkips int64
+	// AdaptiveReorders counts mid-round join reorders triggered by the
+	// adaptive policy's misestimate rule (observed intermediate size
+	// >10x its estimate).
+	AdaptiveReorders int64
 }
 
 // Equal reports whether two Stats are identical, including the
 // per-round delta sizes. Stats stopped being comparable with == when
-// RoundDeltas (a slice) was added; use this instead.
+// RoundDeltas (a slice) was added; use this instead. The planning
+// diagnostics (PlanNanos, PlansCompiled, AdaptiveSkips,
+// AdaptiveReorders) are deliberately excluded — see their field docs.
 func (s *Stats) Equal(o *Stats) bool {
 	if s == nil || o == nil {
 		return s == o
@@ -67,6 +92,43 @@ func (s *Stats) Equal(o *Stats) bool {
 		}
 	}
 	return true
+}
+
+// JoinOrderPolicy selects how the compiled-plan engine orders the
+// positive subgoals of each rule. Answers and provenance are identical
+// under every policy; only the work done to reach them (JoinProbes,
+// plan time) differs.
+type JoinOrderPolicy string
+
+const (
+	// PolicyGreedy orders joins statically by bound-position count at
+	// compile time, with no cardinality input. The default, and the
+	// only policy the legacy engine supports.
+	PolicyGreedy JoinOrderPolicy = "greedy"
+	// PolicyCost reorders joins at every round barrier using the
+	// per-relation statistics maintained in the intern layer (row
+	// counts and per-column distinct estimates; see stats.go): each
+	// step greedily picks the subgoal with the smallest estimated
+	// match count given the bindings accumulated so far.
+	PolicyCost JoinOrderPolicy = "cost"
+	// PolicyAdaptive is cost ordering plus run-time adaptivity: rule
+	// tasks with an empty positive subgoal are skipped outright, and a
+	// running task reorders its remaining joins when an observed
+	// intermediate size is more than 10x its estimate. To keep results
+	// worker-invariant, adaptive tasks are never range-partitioned.
+	PolicyAdaptive JoinOrderPolicy = "adaptive"
+)
+
+// ParseJoinOrderPolicy parses a policy name; the empty string means
+// PolicyGreedy (the zero value of Options.Policy).
+func ParseJoinOrderPolicy(s string) (JoinOrderPolicy, error) {
+	switch p := JoinOrderPolicy(s); p {
+	case "":
+		return PolicyGreedy, nil
+	case PolicyGreedy, PolicyCost, PolicyAdaptive:
+		return p, nil
+	}
+	return "", fmt.Errorf("eval: unknown join-order policy %q (want greedy, cost, or adaptive)", s)
 }
 
 // Options configures evaluation.
@@ -95,11 +157,37 @@ type Options struct {
 	// every worker count; false keeps the legacy string-keyed engine as
 	// an escape hatch (and as the differential-test baseline).
 	CompilePlans bool
+	// Policy selects the join-order policy of the compiled-plan engine
+	// (the empty string means PolicyGreedy, keeping the zero value
+	// backward compatible). PolicyCost and PolicyAdaptive require
+	// CompilePlans; EvalCtx rejects the combination otherwise.
+	Policy JoinOrderPolicy
 }
 
 // DefaultOptions are the options used by Eval.
 func DefaultOptions() Options {
-	return Options{Seminaive: true, UseIndex: true, CompilePlans: true}
+	return Options{Seminaive: true, UseIndex: true, CompilePlans: true, Policy: PolicyGreedy}
+}
+
+// effectivePolicy resolves the empty string to PolicyGreedy.
+func (o Options) effectivePolicy() JoinOrderPolicy {
+	if o.Policy == "" {
+		return PolicyGreedy
+	}
+	return o.Policy
+}
+
+// validatePolicy rejects unknown policy names and non-greedy policies
+// on the legacy engine (which has no plans to reorder).
+func (o Options) validatePolicy() error {
+	pol, err := ParseJoinOrderPolicy(string(o.Policy))
+	if err != nil {
+		return err
+	}
+	if pol != PolicyGreedy && !o.CompilePlans {
+		return fmt.Errorf("eval: join-order policy %q requires the compiled-plan engine (Options.CompilePlans)", pol)
+	}
+	return nil
 }
 
 // effectiveWorkers resolves Options.Workers to a concrete pool size.
@@ -133,6 +221,9 @@ func EvalCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) (*DB, *
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := opts.validatePolicy(); err != nil {
+		return nil, nil, err
 	}
 	if opts.CompilePlans {
 		return evalCompiled(ctx, p, edb, opts, nil)

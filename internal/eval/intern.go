@@ -351,6 +351,11 @@ type irel struct {
 	// position mask would otherwise race on the lazy build.
 	mu      sync.RWMutex
 	indexes map[uint64]*rowIndex // keyed by position bitmask
+	// stats holds one distinct-value sketch per column (see stats.go),
+	// lazily allocated on first insert and updated on every insert, so
+	// planning-time cardinality estimates are always current. Same
+	// contract as data: written only by add, read only when frozen.
+	stats []colSketch
 }
 
 func newIrel(arity, sizeHint int) *irel {
@@ -379,6 +384,12 @@ func (r *irel) add(vals []uint32) bool {
 	r.data = append(r.data, vals...)
 	r.n++
 	r.set.place(slot, hv, idx)
+	if r.stats == nil && r.arity > 0 {
+		r.stats = make([]colSketch, r.arity)
+	}
+	for j, v := range vals {
+		r.stats[j].add(v)
+	}
 	r.mu.Lock()
 	for _, ix := range r.indexes {
 		ix.appendRow(r, idx)

@@ -162,6 +162,17 @@ func compilePlan(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, occ i
 // only explores instantiations that could derive exactly that row
 // (DRed's rederivation step in internal/incr).
 func compilePlanBound(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, occ int, headBound bool) *plan {
+	return compilePlanOrdered(in, idbPr, r, ruleIdx, occ, headBound, nil)
+}
+
+// compilePlanOrdered is compilePlanBound with an explicit join order
+// (nil falls back to the greedy order). Orders come from the cost
+// policy (costJoinOrder); they are permutations of the subgoal indexes
+// and, for delta tasks, keep the occurrence at depth 0. Every plan for
+// the same (rule, occ) has the same nSlots — slots number the rule's
+// variables, not join depths — which is what lets the adaptive
+// executor swap plans mid-task without touching its binding buffer.
+func compilePlanOrdered(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, occ int, headBound bool, order []int) *plan {
 	n := len(r.Pos)
 	pl := &plan{ruleIdx: ruleIdx, occ: occ}
 
@@ -183,7 +194,10 @@ func compilePlanBound(in *interner, idbPr map[string]bool, r ast.Rule, ruleIdx, 
 			}
 		}
 	}
-	pl.order = greedyJoinOrderBound(r, occ, bound)
+	if order == nil {
+		order = greedyJoinOrderBound(r, occ, bound)
+	}
+	pl.order = order
 	cmpDone := make([]bool, len(r.Cmp))
 	negDone := make([]bool, len(r.Neg))
 	allBound := func(vars []string) bool {

@@ -49,6 +49,9 @@ func evalProvOpts(ctx context.Context, p *ast.Program, edb *DB, opts Options) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := opts.validatePolicy(); err != nil {
+		return nil, nil, nil, err
+	}
 	prov := &Provenance{steps: map[string]provStep{}}
 	if opts.CompilePlans {
 		idb, stats, err := evalCompiled(ctx, p, edb, opts, prov)

@@ -1,0 +1,111 @@
+package eval
+
+// Per-relation statistics for the cost-based join-ordering policies
+// (Options.Policy). Every irel maintains, next to its row count, one
+// small fixed-size sketch per column estimating the number of distinct
+// values in that column. The sketches are updated on insert only —
+// irel is append-only, and the retraction path in internal/incr
+// rebuilds shrinking relations into fresh irels, whose sketches are
+// rebuilt from the surviving rows — so they are exact bookkeeping, not
+// a probabilistic deletion structure.
+//
+// Each sketch is hybrid: below sketchExactMax distinct values it keeps
+// the exact value set (a map), so estimates on small relations are
+// exact; past the threshold it spills into a fixed sketchBuckets-bit
+// table and estimates by linear counting (Whang et al.):
+//
+//	distinct ≈ m · ln(m / zeroBits)
+//
+// which stays within a few percent up to several distinct values per
+// bit. Updates after the spill are one multiply, one shift, and one
+// bit-set — cheap enough to leave on unconditionally, which is what
+// keeps the statistics current across semi-naive rounds and
+// internal/incr deltas without any refresh machinery.
+
+import "math"
+
+const (
+	// sketchExactMax is the number of distinct values a column tracks
+	// exactly before spilling to the bit table.
+	sketchExactMax = 128
+	// sketchBuckets is the bit-table width after the spill (power of
+	// two; 4096 bits = 512 bytes per spilled column).
+	sketchBuckets = 4096
+	sketchMask    = sketchBuckets - 1
+)
+
+// colSketch estimates the number of distinct values in one column.
+// Same concurrency contract as the owning irel: single writer (add),
+// any number of readers of a frozen relation (distinct).
+type colSketch struct {
+	exact map[uint32]struct{}
+	bits  []uint64 // sketchBuckets bits once spilled; nil before
+	ones  int      // set bits
+}
+
+// hash32 mixes an interned id into a bucket-selection hash
+// (multiplicative hashing with a xor-fold; ids are dense, so the raw
+// value must not be used directly).
+func hash32(v uint32) uint32 {
+	v *= 2654435761
+	v ^= v >> 16
+	return v
+}
+
+func (c *colSketch) add(v uint32) {
+	if c.bits == nil {
+		if c.exact == nil {
+			c.exact = make(map[uint32]struct{}, 8)
+		}
+		if _, ok := c.exact[v]; ok {
+			return
+		}
+		c.exact[v] = struct{}{}
+		if len(c.exact) > sketchExactMax {
+			c.spill()
+		}
+		return
+	}
+	c.set(hash32(v) & sketchMask)
+}
+
+// spill folds the exact set into the bit table and drops it.
+func (c *colSketch) spill() {
+	c.bits = make([]uint64, sketchBuckets/64)
+	for v := range c.exact {
+		c.set(hash32(v) & sketchMask)
+	}
+	c.exact = nil
+}
+
+func (c *colSketch) set(b uint32) {
+	w, m := b>>6, uint64(1)<<(b&63)
+	if c.bits[w]&m == 0 {
+		c.bits[w] |= m
+		c.ones++
+	}
+}
+
+// distinct returns the estimated distinct count: exact below the spill
+// threshold, linear counting above it.
+func (c *colSketch) distinct() int {
+	if c.bits == nil {
+		return len(c.exact)
+	}
+	zeros := sketchBuckets - c.ones
+	if zeros == 0 {
+		// Saturated table: linear counting can no longer resolve the
+		// count; report the largest estimate the sketch can express.
+		return int(float64(sketchBuckets) * math.Log(float64(sketchBuckets)))
+	}
+	return int(math.Round(float64(sketchBuckets) * math.Log(float64(sketchBuckets)/float64(zeros))))
+}
+
+// distinct returns the estimated number of distinct values in column j
+// (0 for an empty relation). Read-only on a frozen relation.
+func (r *irel) distinct(j int) int {
+	if r.stats == nil {
+		return 0
+	}
+	return r.stats[j].distinct()
+}

@@ -1,0 +1,267 @@
+package incr
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+// These tests cover the two incr-side obligations of the ordering-policy
+// work: (1) the per-column distinct sketches that feed the cost model
+// must stay correct across retractions, which in this layer means the
+// rebuilt relations after a deleting Apply must carry the same
+// statistics as a from-scratch materialization of the same EDB; and
+// (2) view maintenance must produce identical answers, derivation
+// counts, Changes, and provenance under every join-order policy —
+// policies may only change the order work happens in, never what is
+// derived or how often.
+
+// sketchSnapshot renders every relation's row count and per-column
+// distinct estimates into a comparable map.
+func sketchSnapshot(v *View) map[string]string {
+	out := map[string]string{}
+	for pred, rel := range v.rels {
+		s := fmt.Sprintf("n=%d", rel.Len())
+		for j := 0; j < rel.Arity(); j++ {
+			s += fmt.Sprintf(" d%d=%d", j, rel.DistinctEstimate(j))
+		}
+		out[pred] = s
+	}
+	return out
+}
+
+// TestIncrSketchMaintainedAcrossRetractions drives a view through
+// add/delete batches (deletions force the counting layer to rebuild
+// relations, which is where stale sketches would survive if statistics
+// were not insert-complete) and checks that every relation's sketch
+// matches a fresh Materialize over the same final EDB. Both views hold
+// the same row sets, so exact counts and spill-mode estimates alike
+// must agree bit-for-bit.
+func TestIncrSketchMaintainedAcrossRetractions(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		tagged(X) :- path(X, Y), tag(Y).
+		?- tagged.`)
+	fs := factSet{}
+	var seed []ast.Atom
+	for i := 0; i < 12; i++ {
+		seed = append(seed, ast.NewAtom("edge", ast.N(float64(i)), ast.N(float64(i+1))))
+	}
+	seed = append(seed, ast.NewAtom("tag", ast.N(5)), ast.NewAtom("tag", ast.N(9)))
+	fs.apply(seed, nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	for step := 0; step < 6; step++ {
+		var adds, dels []ast.Atom
+		for n := 3; n > 0; n-- {
+			i := rng.Intn(14)
+			adds = append(adds, ast.NewAtom("edge", ast.N(float64(i)), ast.N(float64(rng.Intn(14)))))
+		}
+		for n := 2; n > 0; n-- {
+			i := rng.Intn(13)
+			dels = append(dels, ast.NewAtom("edge", ast.N(float64(i)), ast.N(float64(i+1))))
+		}
+		if _, err := v.Apply(adds, dels); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		fs.apply(adds, dels)
+
+		fresh, err := Materialize(p, fs.db(), Options{})
+		if err != nil {
+			t.Fatalf("step %d: fresh Materialize: %v", step, err)
+		}
+		got, want := sketchSnapshot(v), sketchSnapshot(fresh)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: sketches diverged from fresh materialization:\nview  %v\nfresh %v", step, got, want)
+		}
+	}
+}
+
+// TestIncrSketchSpillAcrossRetraction repeats the check past the
+// exact→spill threshold. Spilled estimates hash interned term IDs, and
+// a maintained view interns terms in a different order than a fresh
+// build (it saw the since-retracted rows too), so estimates are not
+// bit-identical across views — only columns still in exact mode are.
+// What must hold after retraction: exact-mode columns match a fresh
+// build, and the spilled column estimates the surviving distinct count
+// within linear counting's error bound, not the pre-retraction count.
+func TestIncrSketchSpillAcrossRetraction(t *testing.T) {
+	p := parser.MustParseProgram(`
+		hit(X) :- wide(X, Y), probe(Y).
+		?- hit.`)
+	fs := factSet{}
+	var seed []ast.Atom
+	for i := 0; i < 600; i++ {
+		seed = append(seed, ast.NewAtom("wide", ast.N(float64(i%7)), ast.N(float64(i))))
+	}
+	seed = append(seed, ast.NewAtom("probe", ast.N(3)))
+	fs.apply(seed, nil)
+	v, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dels []ast.Atom
+	for i := 100; i < 400; i++ {
+		dels = append(dels, ast.NewAtom("wide", ast.N(float64(i%7)), ast.N(float64(i))))
+	}
+	if _, err := v.Apply(nil, dels); err != nil {
+		t.Fatal(err)
+	}
+	fs.apply(nil, dels)
+	fresh, err := Materialize(p, fs.db(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, fwide := v.rels["wide"], fresh.rels["wide"]
+	if wide.Len() != 300 || fwide.Len() != 300 {
+		t.Fatalf("wide has %d rows (fresh %d), want 300", wide.Len(), fwide.Len())
+	}
+	if got, want := wide.DistinctEstimate(0), fwide.DistinctEstimate(0); got != want {
+		t.Fatalf("exact-mode column 0 diverged: view %d, fresh %d", got, want)
+	}
+	if d := wide.DistinctEstimate(1); d < 225 || d > 375 {
+		t.Fatalf("wide column 1 distinct = %d, want within 25%% of 300 (pre-retraction count was 600)", d)
+	}
+}
+
+// incrPolicies are the option sets the Apply differential runs under.
+// The empty string exercises the zero-value (greedy) default path.
+var incrPolicies = []eval.JoinOrderPolicy{"", eval.PolicyCost, eval.PolicyAdaptive}
+
+// TestIncrPolicyDifferentialApply maintains one view per policy through
+// an identical randomized add/retract sequence over each program shape
+// and asserts that answers, Changes, derivation counts, and provenance
+// explanations never diverge across policies. The greedy view is also
+// checked against from-scratch evaluation, anchoring the whole set to
+// ground truth.
+func TestIncrPolicyDifferentialApply(t *testing.T) {
+	for _, pc := range incrPrograms {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			p := parser.MustParseProgram(pc.src)
+			universe := pc.universe()
+			rng := rand.New(rand.NewSource(41))
+			fs := factSet{}
+			var seed []ast.Atom
+			for _, a := range universe {
+				if rng.Intn(3) == 0 {
+					seed = append(seed, a)
+				}
+			}
+			fs.apply(seed, nil)
+
+			views := make([]*View, len(incrPolicies))
+			for i, pol := range incrPolicies {
+				v, err := Materialize(p, fs.db(), Options{Policy: pol})
+				if err != nil {
+					t.Fatalf("Materialize(policy=%q): %v", pol, err)
+				}
+				views[i] = v
+			}
+			requireConsistent(t, "init", views[0], p, fs)
+
+			for step := 0; step < 6; step++ {
+				label := fmt.Sprintf("step %d", step)
+				var adds, dels []ast.Atom
+				for n := rng.Intn(4); n > 0; n-- {
+					adds = append(adds, universe[rng.Intn(len(universe))])
+				}
+				for n := rng.Intn(4); n > 0; n-- {
+					dels = append(dels, universe[rng.Intn(len(universe))])
+				}
+				fs.apply(adds, dels)
+
+				changes := make([]map[string][]string, len(views))
+				for i, v := range views {
+					ch, err := v.Apply(adds, dels)
+					if err != nil {
+						t.Fatalf("%s: Apply(policy=%q): %v", label, incrPolicies[i], err)
+					}
+					changes[i] = map[string][]string{
+						"added":   renderTuples(p.Query, ch.Added),
+						"removed": renderTuples(p.Query, ch.Removed),
+					}
+				}
+				requireConsistent(t, label, views[0], p, fs)
+				base := views[0]
+				baseAnswers := answersOf(t, base)
+				for i := 1; i < len(views); i++ {
+					pol := incrPolicies[i]
+					if !reflect.DeepEqual(changes[i], changes[0]) {
+						t.Fatalf("%s: Changes diverged under policy %q:\ngreedy %v\n%-6s %v",
+							label, pol, changes[0], pol, changes[i])
+					}
+					if got := answersOf(t, views[i]); !reflect.DeepEqual(got, baseAnswers) {
+						t.Fatalf("%s: answers diverged under policy %q:\ngreedy %v\n%-6s %v",
+							label, pol, baseAnswers, pol, got)
+					}
+					for pred := range p.IDB() {
+						got, want := views[i].DerivationCounts(pred), base.DerivationCounts(pred)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s: %s derivation counts diverged under policy %q:\ngreedy %v\n%-6s %v",
+								label, pred, pol, want, pol, got)
+						}
+					}
+					for j := 0; j < len(baseAnswers) && j < 2; j++ {
+						// Explain recomputes provenance; keep it cheap.
+						fact := ast.NewAtom(p.Query, mustAnswerTuple(t, base, j)...)
+						dg, err := base.Explain(fact)
+						if err != nil {
+							t.Fatalf("%s: greedy Explain(%s): %v", label, fact, err)
+						}
+						dp, err := views[i].Explain(fact)
+						if err != nil {
+							t.Fatalf("%s: policy %q Explain(%s): %v", label, pol, fact, err)
+						}
+						if dg.String() != dp.String() {
+							t.Fatalf("%s: provenance of %s diverged under policy %q:\ngreedy %s\n%-6s %s",
+								label, fact, pol, dg, pol, dp)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// mustAnswerTuple returns the j-th answer tuple in sorted render order,
+// so every view explains the same facts.
+func mustAnswerTuple(t *testing.T, v *View, j int) eval.Tuple {
+	t.Helper()
+	ts, err := v.Answers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type kt struct {
+		k string
+		t eval.Tuple
+	}
+	all := make([]kt, len(ts))
+	for i, tup := range ts {
+		all[i] = kt{ast.NewAtom(v.Program().Query, tup...).String(), tup}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].k < all[b].k })
+	return all[j].t
+}
+
+// TestIncrRejectsUnknownPolicy: Materialize must fail fast on a policy
+// name the eval layer does not recognize, rather than silently running
+// greedy.
+func TestIncrRejectsUnknownPolicy(t *testing.T) {
+	p := parser.MustParseProgram(`q(X) :- e(X). ?- q.`)
+	_, err := Materialize(p, eval.NewDB(), Options{Policy: "fastest"})
+	if err == nil {
+		t.Fatal("Materialize accepted unknown policy")
+	}
+}

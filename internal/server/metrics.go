@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	sqo "repro"
 )
 
 // Metrics is the server's instrumentation registry: monotonic
@@ -31,6 +33,12 @@ type Metrics struct {
 	TuplesDerived atomic.Int64
 	RuleFirings   atomic.Int64
 	JoinProbes    atomic.Int64
+
+	// Join-order policy of completed query evaluations (one counter
+	// per policy; rendered as a labeled series).
+	EvalPolicyGreedy   atomic.Int64
+	EvalPolicyCost     atomic.Int64
+	EvalPolicyAdaptive atomic.Int64
 
 	// Request outcomes.
 	QueryTimeouts atomic.Int64
@@ -113,6 +121,19 @@ func (m *Metrics) AddStats(rounds int, derived, firings, probes int64) {
 	m.JoinProbes.Add(probes)
 }
 
+// AddPolicy counts one completed evaluation under its join-order
+// policy ("" counts as greedy, matching the engine's resolution).
+func (m *Metrics) AddPolicy(policy sqo.JoinOrderPolicy) {
+	switch policy {
+	case sqo.PolicyCost:
+		m.EvalPolicyCost.Add(1)
+	case sqo.PolicyAdaptive:
+		m.EvalPolicyAdaptive.Add(1)
+	default:
+		m.EvalPolicyGreedy.Add(1)
+	}
+}
+
 // ServeHTTP renders the registry in the Prometheus text exposition
 // format (version 0.0.4).
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
@@ -138,6 +159,11 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	counter("sqod_tuples_derived_total", "Distinct IDB tuples derived across all evaluations.", m.TuplesDerived.Load())
 	counter("sqod_rule_firings_total", "Rule firings across all evaluations.", m.RuleFirings.Load())
 	counter("sqod_join_probes_total", "Join probes across all evaluations.", m.JoinProbes.Load())
+
+	b.WriteString("# HELP sqod_eval_policy_total Completed evaluations by join-order policy.\n# TYPE sqod_eval_policy_total counter\n")
+	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"greedy\"} %d\n", m.EvalPolicyGreedy.Load())
+	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"cost\"} %d\n", m.EvalPolicyCost.Load())
+	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"adaptive\"} %d\n", m.EvalPolicyAdaptive.Load())
 
 	counter("sqod_query_timeouts_total", "Queries stopped by deadline expiry.", m.QueryTimeouts.Load())
 	counter("sqod_query_cancels_total", "Queries stopped by client cancellation.", m.QueryCancels.Load())

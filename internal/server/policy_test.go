@@ -1,0 +1,96 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestServerJoinOrderKnob exercises the join-order surface end to end:
+// the config default applies, per-request join_order overrides it,
+// answers are identical across policies, invalid names answer 400, and
+// the per-policy metric counts completed evaluations.
+func TestServerJoinOrderKnob(t *testing.T) {
+	_, ts := newTestServer(t, Config{JoinOrder: "cost"})
+	registerDataset(t, ts.URL, "g", serverTestFacts)
+
+	type resp struct {
+		Answers   []string `json:"answers"`
+		JoinOrder string   `json:"join_order"`
+	}
+	query := func(joinOrder string) resp {
+		t.Helper()
+		var out resp
+		code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+			"program":    serverTestProgram,
+			"ics":        serverTestICs,
+			"dataset":    "g",
+			"join_order": joinOrder,
+		}, &out)
+		if code != http.StatusOK {
+			t.Fatalf("query(join_order=%q): %d %s", joinOrder, code, raw)
+		}
+		return out
+	}
+
+	base := query("") // server default: cost
+	if base.JoinOrder != "cost" {
+		t.Fatalf("default join_order = %q, want cost (config)", base.JoinOrder)
+	}
+	for _, pol := range []string{"greedy", "cost", "adaptive"} {
+		got := query(pol)
+		if got.JoinOrder != pol {
+			t.Fatalf("join_order echo = %q, want %q", got.JoinOrder, pol)
+		}
+		if !reflect.DeepEqual(got.Answers, base.Answers) {
+			t.Fatalf("answers diverged under %q:\n%v\nvs\n%v", pol, got.Answers, base.Answers)
+		}
+	}
+
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"program":    serverTestProgram,
+		"dataset":    "g",
+		"join_order": "fastest",
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid join_order: %d %s, want 400", code, raw)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`sqod_eval_policy_total{policy="greedy"} 1`,
+		`sqod_eval_policy_total{policy="cost"} 2`, // default + explicit
+		`sqod_eval_policy_total{policy="adaptive"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServerInvalidConfigPolicyFallsBack: a bad config value must not
+// take the daemon down; it falls back to greedy.
+func TestServerInvalidConfigPolicyFallsBack(t *testing.T) {
+	_, ts := newTestServer(t, Config{JoinOrder: "nope"})
+	registerDataset(t, ts.URL, "g", serverTestFacts)
+	var out struct {
+		JoinOrder string `json:"join_order"`
+	}
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/query", map[string]any{
+		"program": serverTestProgram,
+		"dataset": "g",
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, raw)
+	}
+	if out.JoinOrder != "greedy" {
+		t.Fatalf("join_order = %q, want greedy fallback", out.JoinOrder)
+	}
+}

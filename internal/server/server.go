@@ -55,6 +55,11 @@ type Config struct {
 	MaxTuples int64
 	// Workers is the evaluation worker-pool size (0 = one per CPU).
 	Workers int
+	// JoinOrder is the default join-order policy for evaluations and
+	// views: "greedy" (or empty), "cost", or "adaptive". Queries can
+	// override it per request with join_order. Invalid names fall back
+	// to greedy with a logged warning rather than refusing to start.
+	JoinOrder string
 	// MaxBodyBytes bounds request bodies. Default: 8 MiB.
 	MaxBodyBytes int64
 	// EnablePprof registers net/http/pprof handlers under /debug/pprof/
@@ -73,6 +78,7 @@ type Server struct {
 	metrics *Metrics
 	cache   *Cache
 	sem     chan struct{} // admission-control semaphore
+	policy  sqo.JoinOrderPolicy
 
 	datasets *datasetStore
 }
@@ -97,6 +103,12 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	policy, err := sqo.ParseJoinOrderPolicy(cfg.JoinOrder)
+	if err != nil {
+		cfg.Logger.Warn("invalid join-order policy; falling back to greedy",
+			"join_order", cfg.JoinOrder, "err", err)
+		policy = sqo.PolicyGreedy
+	}
 	m := NewMetrics()
 	c := NewCache(cfg.CacheSize)
 	c.metrics = m
@@ -106,6 +118,7 @@ func New(cfg Config) *Server {
 		metrics:  m,
 		cache:    c,
 		sem:      make(chan struct{}, cfg.MaxInflight),
+		policy:   policy,
 		datasets: newDatasetStore(m),
 	}
 }
@@ -429,6 +442,10 @@ type queryRequest struct {
 	// IncludeRoundDeltas opts into per-round delta sizes in the
 	// response (round → relation → tuples derived that round).
 	IncludeRoundDeltas bool `json:"include_round_deltas,omitempty"`
+	// JoinOrder overrides the server's join-order policy for this
+	// query: "greedy", "cost", or "adaptive" (empty → server default).
+	// Answers are identical under every policy; only join work differs.
+	JoinOrder string `json:"join_order,omitempty"`
 }
 
 type queryStats struct {
@@ -445,6 +462,7 @@ type queryResponse struct {
 	Satisfiable bool       `json:"satisfiable"`
 	Optimized   bool       `json:"optimized"`
 	CacheHit    bool       `json:"cache_hit"`
+	JoinOrder   string     `json:"join_order"`
 	Stats       queryStats `json:"stats"`
 	// RoundDeltas is present only when the request set
 	// include_round_deltas: element i maps relation → tuples newly
@@ -464,6 +482,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Dataset == "" && req.Facts == "" {
 		writeError(w, http.StatusBadRequest, "bad_request", "one of dataset or facts is required")
 		return
+	}
+	policy := s.policy
+	if req.JoinOrder != "" {
+		p, err := sqo.ParseJoinOrderPolicy(req.JoinOrder)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+		policy = p
 	}
 
 	// Resolve the database before admission: cheap, and 404s should
@@ -546,6 +573,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	evalOpts := sqo.DefaultEvalOptions()
 	evalOpts.Workers = s.cfg.Workers
 	evalOpts.MaxTuples = s.cfg.MaxTuples
+	evalOpts.Policy = policy
 	if req.Workers > 0 {
 		evalOpts.Workers = req.Workers
 	}
@@ -570,6 +598,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.AddStats(stats.Iterations, stats.TuplesDerived, stats.RuleFirings, stats.JoinProbes)
+	s.metrics.AddPolicy(policy)
 
 	answers := make([]string, len(tuples))
 	for i, t := range tuples {
@@ -583,6 +612,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Satisfiable: satisfiable,
 		Optimized:   doOptimize,
 		CacheHit:    cacheHit,
+		JoinOrder:   string(policy),
 		Stats: queryStats{
 			Rounds:        stats.Iterations,
 			TuplesDerived: stats.TuplesDerived,

@@ -269,7 +269,7 @@ func (s *Server) handleViewCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "view_exists", "view %q already exists on dataset %q", vname, name)
 		return
 	}
-	view, err := sqo.MaterializeCtx(ctx, prog, ds.db, sqo.ViewOptions{MaxTuples: maxTuples})
+	view, err := sqo.MaterializeCtx(ctx, prog, ds.db, sqo.ViewOptions{MaxTuples: maxTuples, Policy: s.policy})
 	if err != nil {
 		ds.mu.Unlock()
 		s.writeEvalError(w, err)

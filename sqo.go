@@ -160,15 +160,40 @@ func Eval(p *Program, edb *DB) (*DB, *Stats, error) { return eval.Eval(p, edb) }
 
 // EvalOptions configures the evaluation engine: naive vs semi-naive,
 // hash indexes, the derived-tuple budget, the worker pool size
-// (Workers: 0 = one per CPU, 1 = sequential), and plan compilation
+// (Workers: 0 = one per CPU, 1 = sequential), plan compilation
 // (CompilePlans: interned terms + compiled join plans; see
-// DefaultEvalOptions).
+// DefaultEvalOptions), and the join-order policy (Policy; see
+// JoinOrderPolicy).
 type EvalOptions = eval.Options
 
+// JoinOrderPolicy selects how the compiled-plan engine orders the
+// subgoals of each rule: PolicyGreedy (static, most-bound-first),
+// PolicyCost (per-round orders from maintained relation statistics),
+// or PolicyAdaptive (cost orders plus run-time adaptivity). Answers,
+// derivation counts, and provenance are identical under every policy;
+// only join work differs.
+type JoinOrderPolicy = eval.JoinOrderPolicy
+
+// Join-order policies accepted by EvalOptions.Policy and
+// ViewOptions.Policy.
+const (
+	PolicyGreedy   = eval.PolicyGreedy
+	PolicyCost     = eval.PolicyCost
+	PolicyAdaptive = eval.PolicyAdaptive
+)
+
+// ParseJoinOrderPolicy parses a policy name ("greedy", "cost",
+// "adaptive"; the empty string means greedy), for wiring flags and
+// config knobs to EvalOptions.Policy.
+func ParseJoinOrderPolicy(s string) (JoinOrderPolicy, error) {
+	return eval.ParseJoinOrderPolicy(s)
+}
+
 // DefaultEvalOptions returns the engine defaults used by Eval:
-// semi-naive, hash-indexed, compiled join plans, one worker per CPU.
-// Start from it when overriding a single knob so new defaults (like
-// CompilePlans) are picked up automatically.
+// semi-naive, hash-indexed, compiled join plans with the greedy
+// join-order policy, one worker per CPU. Start from it when overriding
+// a single knob so new defaults (like CompilePlans) are picked up
+// automatically.
 func DefaultEvalOptions() EvalOptions { return eval.DefaultOptions() }
 
 // EvalWith evaluates with explicit engine options.
@@ -303,7 +328,8 @@ type View = incr.View
 type ViewChanges = incr.Changes
 
 // ViewOptions configures incremental maintenance (derived-tuple
-// budget shared with full rebuilds).
+// budget shared with full rebuilds, and the join-order policy for
+// delta passes; see JoinOrderPolicy).
 type ViewOptions = incr.Options
 
 // ViewStats reports incremental-maintenance instrumentation.
