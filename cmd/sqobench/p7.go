@@ -1,0 +1,246 @@
+package main
+
+// P7: the persistent storage engine — what durability costs on the
+// update path, and what recovery costs at cold start.
+//
+// Update overhead: the same deterministic fact-batch workload is
+// appended through the store in four modes — in-memory mirror only
+// (the baseline every other mode contains), and WAL-backed under each
+// fsync policy (never / interval / always). The WAL record and byte
+// counts are exact (the encoding is a pure function of the workload);
+// the per-append wall clock is the measurement. fsync=always pays one
+// device sync per acknowledged operation, so it runs a shorter
+// schedule — the honest number here is orders of magnitude above the
+// others on real disks, and that is the point of reporting it.
+//
+// Recovery: a store is built with W operations and a checkpoint
+// interval, closed, and re-opened cold; open time (segment load + WAL
+// tail replay + torn-tail scan) is the measurement, and the number of
+// tail records replayed is exact — checkpointing is visible as the
+// replay count dropping from W to W mod interval while the recovered
+// fact set stays identical. With -out the rows are written as JSON
+// (committed as BENCH_7.json for regression tracking).
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+type p7Row struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	Records  int64  `json:"wal_records"`
+	WalBytes int64  `json:"wal_bytes"`
+	Facts    int    `json:"facts"`
+	AppendNs int64  `json:"append_ns,omitempty"` // total across the schedule
+	OpenNs   int64  `json:"open_ns,omitempty"`   // cold-start recovery
+	Replayed int64  `json:"replayed,omitempty"`  // WAL tail records at open
+}
+
+type p7Report struct {
+	CPUs   int     `json:"cpus"`
+	GOOS   string  `json:"goos"`
+	GOARCH string  `json:"goarch"`
+	Go     string  `json:"go_version"`
+	Rows   []p7Row `json:"results"`
+}
+
+// p7Schedule derives a deterministic mutation schedule: one dataset
+// create, then alternating insert/retract batches over a monotone
+// graph — the same op mix the durable server logs, minus HTTP.
+type p7Op struct {
+	adds, dels []ast.Atom
+}
+
+func p7Schedule(records int) []p7Op {
+	base := workload.MonotoneRandomGraph(400, 12, 1)
+	ops := make([]p7Op, 0, records)
+	ops = append(ops, p7Op{adds: base})
+	for i := 1; i < records; i++ {
+		if i%4 == 3 {
+			// Retract a slice of an earlier batch (misses are no-ops,
+			// matching server semantics).
+			prev := workload.MonotoneRandomGraph(400, 12, int64(i-2))
+			ops = append(ops, p7Op{dels: prev[:4]})
+		} else {
+			ops = append(ops, p7Op{adds: workload.MonotoneRandomGraph(400, 12, int64(i))})
+		}
+	}
+	return ops
+}
+
+// p7Apply drives the schedule through a store: op 0 creates the
+// dataset, the rest are fact batches.
+func p7Apply(s *store.Store, ops []p7Op) error {
+	if err := s.AppendDatasetCreate("bench", ops[0].adds); err != nil {
+		return err
+	}
+	for _, op := range ops[1:] {
+		if err := s.AppendFacts("bench", op.adds, op.dels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runP7() {
+	records, alwaysRecords := 2000, 150
+	recoveryLens := []int{1000, 4000}
+	ckptEvery := 750 // non-multiple of the sweep, so recovery combines segment load + tail replay
+	if *quick {
+		records, alwaysRecords = 400, 40
+		recoveryLens = []int{300, 1000}
+		ckptEvery = 200
+	}
+
+	report := p7Report{
+		CPUs:   runtime.NumCPU(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Go:     runtime.Version(),
+	}
+
+	// --- update overhead per durability mode ---------------------------
+	type mode struct {
+		name    string
+		dir     bool // WAL-backed (vs mirror-only)
+		policy  store.FsyncPolicy
+		records int
+	}
+	modes := []mode{
+		{"memory", false, store.FsyncNever, records},
+		{"wal-never", true, store.FsyncNever, records},
+		{"wal-interval", true, store.FsyncInterval, records},
+		{"wal-always", true, store.FsyncAlways, records},
+	}
+	modes[3].records = alwaysRecords
+
+	header("workload", "mode", "records", "wal bytes", "append/op", "total")
+	for _, m := range modes {
+		ops := p7Schedule(m.records)
+		// Best of three trials, each against a fresh store: fsync
+		// latency on shared disks is far too noisy for one shot.
+		var elapsed time.Duration
+		var c store.Counters
+		var facts int
+		for trial := 0; trial < 3; trial++ {
+			dir := ""
+			if m.dir {
+				d, err := os.MkdirTemp("", "sqobench-p7-*")
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer os.RemoveAll(d)
+				dir = d
+			}
+			s, _, err := store.Open(dir, store.Options{Fsync: m.policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			if err := p7Apply(s, ops); err != nil {
+				log.Fatal(err)
+			}
+			t := time.Since(start)
+			c = s.Counters()
+			facts = len(s.Facts("bench"))
+			if err := s.Close(); err != nil {
+				log.Fatal(err)
+			}
+			if trial == 0 || t < elapsed {
+				elapsed = t
+			}
+		}
+		row := p7Row{
+			Workload: fmt.Sprintf("update(%d)", m.records),
+			Mode:     m.name,
+			Records:  c.Appends,
+			WalBytes: c.Bytes,
+			Facts:    facts,
+			AppendNs: elapsed.Nanoseconds(),
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("%-14s | %-12s | %7d | %9d | %9v | %8v\n",
+			row.Workload, row.Mode, row.Records, row.WalBytes,
+			time.Duration(row.AppendNs/row.Records).Round(100*time.Nanosecond),
+			elapsed.Round(time.Millisecond))
+	}
+
+	// --- cold-start recovery vs WAL length and checkpoint interval -----
+	fmt.Println()
+	header("workload", "mode", "records", "replayed", "facts", "open")
+	for _, w := range recoveryLens {
+		for _, ckpt := range []int{0, ckptEvery} {
+			ops := p7Schedule(w)
+			dir, err := os.MkdirTemp("", "sqobench-p7-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			s, _, err := store.Open(dir, store.Options{Fsync: store.FsyncNever, CheckpointEvery: ckpt})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := p7Apply(s, ops); err != nil {
+				log.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				log.Fatal(err)
+			}
+			// Cold open: segment (if any checkpoint fired) + tail replay.
+			// Best of three opens of the same directory.
+			var rec *store.Recovered
+			var facts int
+			var openNs int64
+			for trial := 0; trial < 3; trial++ {
+				r, thisRec, err := store.Open(dir, store.Options{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				facts = len(r.Facts("bench"))
+				if err := r.Close(); err != nil {
+					log.Fatal(err)
+				}
+				rec = thisRec
+				if trial == 0 || thisRec.Elapsed.Nanoseconds() < openNs {
+					openNs = thisRec.Elapsed.Nanoseconds()
+				}
+			}
+			modeName := "ckpt-none"
+			if ckpt > 0 {
+				modeName = fmt.Sprintf("ckpt-%d", ckpt)
+			}
+			row := p7Row{
+				Workload: fmt.Sprintf("recovery(%d)", w),
+				Mode:     modeName,
+				Records:  int64(w),
+				Facts:    facts,
+				OpenNs:   openNs,
+				Replayed: int64(rec.WALRecords),
+			}
+			report.Rows = append(report.Rows, row)
+			fmt.Printf("%-14s | %-12s | %7d | %8d | %5d | %8v\n",
+				row.Workload, row.Mode, row.Records, row.Replayed, row.Facts,
+				time.Duration(row.OpenNs).Round(10*time.Microsecond))
+		}
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}

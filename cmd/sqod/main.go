@@ -14,11 +14,24 @@
 // (counting for non-recursive strata, delete-rederive for recursive
 // ones) instead of re-evaluation.
 //
+// With -data-dir the daemon is durable: every dataset, fact, and view
+// mutation is appended to a write-ahead log (fsync policy selected by
+// -fsync) before it is acknowledged, the state is periodically
+// checkpointed into an immutable segment file (-checkpoint-every), and
+// on startup the newest checkpoint is loaded and the WAL tail replayed
+// — registered views are repaired incrementally through the same
+// counting/delete-rederive machinery that maintains them live. A
+// graceful shutdown writes a final checkpoint so the next start
+// replays an empty tail. Without -data-dir nothing changes: the daemon
+// is purely in-memory, exactly as before.
+//
 // Usage:
 //
 //	sqod [-addr :8351] [-max-inflight n] [-cache-size n]
 //	     [-timeout 30s] [-max-timeout 5m] [-update-timeout 30s]
 //	     [-max-tuples n] [-workers n] [-join-order greedy|cost|adaptive]
+//	     [-data-dir path] [-fsync always|interval|never]
+//	     [-fsync-interval 100ms] [-checkpoint-every 4096]
 //	     [-drain 30s] [-log text|json] [-pprof=false]
 //
 // Endpoints:
@@ -55,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -67,6 +81,10 @@ func main() {
 	maxTuples := flag.Int64("max-tuples", 0, "per-query derived-tuple budget (0 = unlimited)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = one per CPU)")
 	joinOrder := flag.String("join-order", "", "default join-order policy: greedy, cost, or adaptive")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory, no persistence)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL durability: always, interval, or never (with -data-dir)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync=interval")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "checkpoint after this many WAL records (0 = only at shutdown)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	enablePprof := flag.Bool("pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
@@ -81,6 +99,38 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	// Durable mode: open (and recover) the store before the server
+	// exists, so New can replay the recovered state into datasets and
+	// views ahead of the first request.
+	var st *store.Store
+	var recovered *store.Recovered
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			logger.Error("bad -fsync", "err", err)
+			os.Exit(2)
+		}
+		openStart := time.Now()
+		st, recovered, err = store.Open(*dataDir, store.Options{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncInterval,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			logger.Error("opening store", "data_dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("store opened",
+			"data_dir", *dataDir,
+			"fsync", policy.String(),
+			"datasets", len(recovered.Datasets),
+			"wal_records", recovered.WALRecords,
+			"wal_bytes", recovered.WALBytes,
+			"wal_truncated", recovered.Truncated,
+			"open_ms", float64(time.Since(openStart).Microseconds())/1000,
+		)
+	}
+
 	srv := server.New(server.Config{
 		MaxInflight:    *maxInflight,
 		CacheSize:      *cacheSize,
@@ -92,6 +142,8 @@ func main() {
 		JoinOrder:      *joinOrder,
 		Logger:         logger,
 		EnablePprof:    *enablePprof,
+		Store:          st,
+		Recovered:      recovered,
 	})
 
 	httpSrv := &http.Server{
@@ -130,6 +182,23 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listener error", "err", err)
 		os.Exit(1)
+	}
+	// All mutations drained; flush a final checkpoint so the next start
+	// opens a segment with an empty WAL tail instead of replaying the
+	// whole log.
+	if st != nil {
+		ckptStart := time.Now()
+		if err := st.Checkpoint(); err != nil {
+			logger.Error("final checkpoint failed", "err", err)
+			_ = st.Close()
+			os.Exit(1)
+		}
+		if err := st.Close(); err != nil {
+			logger.Error("closing store", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("final checkpoint written",
+			"checkpoint_ms", float64(time.Since(ckptStart).Microseconds())/1000)
 	}
 	logger.Info("drained cleanly; exiting")
 	fmt.Fprintln(os.Stderr, "sqod: clean shutdown")

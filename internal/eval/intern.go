@@ -355,7 +355,7 @@ type irel struct {
 	// lazily allocated on first insert and updated on every insert, so
 	// planning-time cardinality estimates are always current. Same
 	// contract as data: written only by add, read only when frozen.
-	stats []colSketch
+	stats []ColSketch
 }
 
 func newIrel(arity, sizeHint int) *irel {
@@ -385,10 +385,10 @@ func (r *irel) add(vals []uint32) bool {
 	r.n++
 	r.set.place(slot, hv, idx)
 	if r.stats == nil && r.arity > 0 {
-		r.stats = make([]colSketch, r.arity)
+		r.stats = make([]ColSketch, r.arity)
 	}
 	for j, v := range vals {
-		r.stats[j].add(v)
+		r.stats[j].Add(v)
 	}
 	r.mu.Lock()
 	for _, ix := range r.indexes {

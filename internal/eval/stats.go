@@ -22,7 +22,13 @@ package eval
 // keeps the statistics current across semi-naive rounds and
 // internal/incr deltas without any refresh machinery.
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
 
 const (
 	// sketchExactMax is the number of distinct values a column tracks
@@ -34,10 +40,18 @@ const (
 	sketchMask    = sketchBuckets - 1
 )
 
-// colSketch estimates the number of distinct values in one column.
-// Same concurrency contract as the owning irel: single writer (add),
-// any number of readers of a frozen relation (distinct).
-type colSketch struct {
+// ColSketch estimates the number of distinct values in one column.
+// Same concurrency contract as the owning irel: single writer (Add),
+// any number of readers of a frozen relation (Distinct). The zero
+// value is an empty sketch, ready for use.
+//
+// The type is exported for internal/store, which persists per-column
+// sketches alongside the interned rows of its segment files: sketch
+// state is a pure function of the set of ids added (exact mode keeps
+// the set; spilled mode ORs hash bits), so a sketch rebuilt by WAL
+// replay is bit-identical to the uninterrupted one — the property the
+// crash-recovery differential test pins.
+type ColSketch struct {
 	exact map[uint32]struct{}
 	bits  []uint64 // sketchBuckets bits once spilled; nil before
 	ones  int      // set bits
@@ -52,7 +66,8 @@ func hash32(v uint32) uint32 {
 	return v
 }
 
-func (c *colSketch) add(v uint32) {
+// Add records one value.
+func (c *ColSketch) Add(v uint32) {
 	if c.bits == nil {
 		if c.exact == nil {
 			c.exact = make(map[uint32]struct{}, 8)
@@ -70,7 +85,7 @@ func (c *colSketch) add(v uint32) {
 }
 
 // spill folds the exact set into the bit table and drops it.
-func (c *colSketch) spill() {
+func (c *ColSketch) spill() {
 	c.bits = make([]uint64, sketchBuckets/64)
 	for v := range c.exact {
 		c.set(hash32(v) & sketchMask)
@@ -78,7 +93,7 @@ func (c *colSketch) spill() {
 	c.exact = nil
 }
 
-func (c *colSketch) set(b uint32) {
+func (c *ColSketch) set(b uint32) {
 	w, m := b>>6, uint64(1)<<(b&63)
 	if c.bits[w]&m == 0 {
 		c.bits[w] |= m
@@ -86,9 +101,9 @@ func (c *colSketch) set(b uint32) {
 	}
 }
 
-// distinct returns the estimated distinct count: exact below the spill
+// Distinct returns the estimated distinct count: exact below the spill
 // threshold, linear counting above it.
-func (c *colSketch) distinct() int {
+func (c *ColSketch) Distinct() int {
 	if c.bits == nil {
 		return len(c.exact)
 	}
@@ -107,5 +122,114 @@ func (r *irel) distinct(j int) int {
 	if r.stats == nil {
 		return 0
 	}
-	return r.stats[j].distinct()
+	return r.stats[j].Distinct()
+}
+
+// Equal reports whether two sketches carry bit-identical state: same
+// mode, and same exact set or same bit table. Used by the persistence
+// layer's differential tests to pin recovered sketches against an
+// uninterrupted run.
+func (c *ColSketch) Equal(d *ColSketch) bool {
+	if (c.bits == nil) != (d.bits == nil) {
+		return false
+	}
+	if c.bits != nil {
+		if c.ones != d.ones || len(c.bits) != len(d.bits) {
+			return false
+		}
+		for i := range c.bits {
+			if c.bits[i] != d.bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if len(c.exact) != len(d.exact) {
+		return false
+	}
+	for v := range c.exact {
+		if _, ok := d.exact[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Sketch encoding bytes (internal/store segment files). Exact mode
+// serializes the value set sorted, so the encoding is deterministic
+// for a given set regardless of insertion order.
+const (
+	sketchModeExact   = 0
+	sketchModeSpilled = 1
+)
+
+// AppendEncoded appends a deterministic binary encoding of the sketch
+// to buf and returns the extended slice: a mode byte, then either a
+// uvarint count followed by the sorted exact values (4 bytes LE each),
+// or the raw bit table (sketchBuckets/8 bytes LE).
+func (c *ColSketch) AppendEncoded(buf []byte) []byte {
+	if c.bits != nil {
+		buf = append(buf, sketchModeSpilled)
+		for _, w := range c.bits {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		return buf
+	}
+	buf = append(buf, sketchModeExact)
+	vals := make([]uint32, 0, len(c.exact))
+	for v := range c.exact {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	return buf
+}
+
+// DecodeColSketch decodes a sketch produced by AppendEncoded from the
+// front of data, returning the sketch and the number of bytes
+// consumed. Malformed input yields an error, never a panic.
+func DecodeColSketch(data []byte) (ColSketch, int, error) {
+	if len(data) < 1 {
+		return ColSketch{}, 0, fmt.Errorf("eval: sketch: empty input")
+	}
+	mode, off := data[0], 1
+	switch mode {
+	case sketchModeSpilled:
+		words := sketchBuckets / 64
+		need := words * 8
+		if len(data)-off < need {
+			return ColSketch{}, 0, fmt.Errorf("eval: sketch: truncated bit table")
+		}
+		c := ColSketch{bits: make([]uint64, words)}
+		for i := 0; i < words; i++ {
+			w := binary.LittleEndian.Uint64(data[off:])
+			c.bits[i] = w
+			c.ones += bits.OnesCount64(w)
+			off += 8
+		}
+		return c, off, nil
+	case sketchModeExact:
+		n, k := binary.Uvarint(data[off:])
+		if k <= 0 || n > sketchExactMax+1 {
+			return ColSketch{}, 0, fmt.Errorf("eval: sketch: bad exact count")
+		}
+		off += k
+		if len(data)-off < int(n)*4 {
+			return ColSketch{}, 0, fmt.Errorf("eval: sketch: truncated exact set")
+		}
+		c := ColSketch{}
+		if n > 0 {
+			c.exact = make(map[uint32]struct{}, n)
+		}
+		for i := 0; i < int(n); i++ {
+			c.exact[binary.LittleEndian.Uint32(data[off:])] = struct{}{}
+			off += 4
+		}
+		return c, off, nil
+	default:
+		return ColSketch{}, 0, fmt.Errorf("eval: sketch: unknown mode %d", mode)
+	}
 }

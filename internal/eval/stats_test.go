@@ -94,11 +94,54 @@ func TestSketchSpillTransition(t *testing.T) {
 // Saturation guard: more distinct values than the sketch can resolve
 // must return a large finite estimate, not panic or zero.
 func TestSketchSaturation(t *testing.T) {
-	c := &colSketch{}
+	c := &ColSketch{}
 	for i := 0; i < sketchBuckets*16; i++ {
-		c.add(uint32(i)*2654435761 + 12345)
+		c.Add(uint32(i)*2654435761 + 12345)
 	}
-	if got := c.distinct(); got < sketchBuckets {
+	if got := c.Distinct(); got < sketchBuckets {
 		t.Fatalf("saturated sketch distinct = %d, want >= %d", got, sketchBuckets)
+	}
+}
+
+// Encode/decode round trip in both modes, and Equal discriminating
+// mode, content, and membership differences — the properties the
+// segment format of internal/store leans on.
+func TestSketchEncodeRoundTrip(t *testing.T) {
+	exact := &ColSketch{}
+	for i := uint32(0); i < 50; i++ {
+		exact.Add(i * 7)
+	}
+	spilled := &ColSketch{}
+	for i := uint32(0); i < sketchExactMax*3; i++ {
+		spilled.Add(i * 2654435761)
+	}
+	for _, c := range []*ColSketch{{}, exact, spilled} {
+		enc := c.AppendEncoded(nil)
+		dec, n, err := DecodeColSketch(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if !c.Equal(&dec) || !dec.Equal(c) {
+			t.Fatalf("round trip not Equal (distinct %d vs %d)", c.Distinct(), dec.Distinct())
+		}
+	}
+	if exact.Equal(spilled) {
+		t.Fatal("exact and spilled sketches must differ")
+	}
+	other := &ColSketch{}
+	for i := uint32(0); i < 50; i++ {
+		other.Add(i*7 + 1)
+	}
+	if exact.Equal(other) {
+		t.Fatal("different exact sets must not be Equal")
+	}
+	if _, _, err := DecodeColSketch(nil); err == nil {
+		t.Fatal("decoding empty input must error")
+	}
+	if _, _, err := DecodeColSketch([]byte{sketchModeSpilled, 1, 2}); err == nil {
+		t.Fatal("truncated bit table must error")
 	}
 }

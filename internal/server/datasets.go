@@ -217,12 +217,24 @@ func newDatasetStore(m *Metrics) *datasetStore {
 }
 
 // create registers a new dataset; created is false (and the existing
-// dataset is returned) when the name is already taken.
-func (st *datasetStore) create(name string, facts []sqo.Atom, now time.Time) (ds *dataset, created bool) {
+// dataset is returned) when the name is already taken. A non-nil
+// persist callback runs while the registry lock is held, after the
+// name is known to be free and before the dataset becomes visible: a
+// persist error aborts the create. Holding the lock across the
+// write-ahead append pins the WAL order to the registry order — no
+// fact append for the dataset can reach the log before its create
+// record.
+func (st *datasetStore) create(name string, facts []sqo.Atom, now time.Time, persist func() error) (ds *dataset, created bool, err error) {
 	st.mu.Lock()
 	if existing, ok := st.byName[name]; ok {
 		st.mu.Unlock()
-		return existing, false
+		return existing, false, nil
+	}
+	if persist != nil {
+		if err := persist(); err != nil {
+			st.mu.Unlock()
+			return nil, false, err
+		}
 	}
 	ds = newDataset(name, facts, now)
 	st.byName[name] = ds
@@ -231,7 +243,7 @@ func (st *datasetStore) create(name string, facts []sqo.Atom, now time.Time) (ds
 	if st.metrics != nil {
 		st.metrics.Datasets.Store(int64(n))
 	}
-	return ds, true
+	return ds, true, nil
 }
 
 // get returns the dataset named name.
@@ -243,11 +255,20 @@ func (st *datasetStore) get(name string) (*dataset, bool) {
 }
 
 // delete removes the dataset named name, returning it so the caller
-// can release per-view accounting.
-func (st *datasetStore) delete(name string) (*dataset, bool) {
+// can release per-view accounting. A non-nil persist callback runs
+// while the registry lock is held, before the name is freed: the
+// delete record reaches the WAL before any create record can reuse
+// the name. A persist error aborts the delete.
+func (st *datasetStore) delete(name string, persist func() error) (*dataset, bool, error) {
 	st.mu.Lock()
 	ds, ok := st.byName[name]
 	if ok {
+		if persist != nil {
+			if err := persist(); err != nil {
+				st.mu.Unlock()
+				return nil, false, err
+			}
+		}
 		delete(st.byName, name)
 	}
 	n := len(st.byName)
@@ -255,7 +276,7 @@ func (st *datasetStore) delete(name string) (*dataset, bool) {
 	if ok && st.metrics != nil {
 		st.metrics.Datasets.Store(int64(n))
 	}
-	return ds, ok
+	return ds, ok, nil
 }
 
 // list describes all datasets, sorted by name.

@@ -56,6 +56,12 @@ type Metrics struct {
 	FactUpdates atomic.Int64 // dataset mutations applied (facts add/delete, PUT replace)
 	ViewApplies atomic.Int64 // incremental maintenance passes pushed to views
 
+	// Durable store instrumentation; both are set once before the
+	// handler serves (nil / zero when running in-memory). StoreStats
+	// reads the store's live counters at scrape time.
+	StoreStats      func() (walAppends, walBytes, checkpoints int64)
+	RecoverySeconds float64
+
 	mu        sync.Mutex
 	requests  map[statusKey]*int64  // endpoint×code → count
 	latencies map[string]*histogram // endpoint → latency histogram
@@ -176,6 +182,14 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	gauge("sqod_views", "Live materialized views.", m.Views.Load())
 	counter("sqod_fact_updates_total", "Dataset mutations applied.", m.FactUpdates.Load())
 	counter("sqod_view_applies_total", "Incremental maintenance passes pushed to views.", m.ViewApplies.Load())
+	if m.StoreStats != nil {
+		appends, bytes, checkpoints := m.StoreStats()
+		counter("sqod_wal_appends_total", "Operations appended to the write-ahead log.", appends)
+		counter("sqod_wal_bytes_total", "Bytes appended to the write-ahead log (framing included).", bytes)
+		counter("sqod_checkpoints_total", "Checkpoint segments written.", checkpoints)
+		fmt.Fprintf(&b, "# HELP sqod_recovery_seconds Wall-clock seconds spent recovering durable state at startup.\n# TYPE sqod_recovery_seconds gauge\nsqod_recovery_seconds %.6f\n",
+			m.RecoverySeconds)
+	}
 	fmt.Fprintf(&b, "# HELP sqod_uptime_seconds Seconds since the server started.\n# TYPE sqod_uptime_seconds gauge\nsqod_uptime_seconds %.3f\n",
 		time.Since(m.started).Seconds())
 

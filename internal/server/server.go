@@ -30,6 +30,7 @@ import (
 	"time"
 
 	sqo "repro"
+	"repro/internal/store"
 )
 
 // Config tunes the server; the zero value is usable (see defaults in
@@ -69,6 +70,15 @@ type Config struct {
 	EnablePprof bool
 	// Logger receives structured request logs; default slog.Default().
 	Logger *slog.Logger
+	// Store, when set, makes the mutable-dataset surface durable: every
+	// dataset/fact/view mutation is appended to its write-ahead log
+	// before the request is acknowledged. Nil (the default) keeps
+	// today's purely in-memory behavior.
+	Store *store.Store
+	// Recovered carries the state Store reconstructed at open; New
+	// replays it — checkpoint base first, then the WAL tail through the
+	// incremental view-maintenance path — before serving.
+	Recovered *store.Recovered
 }
 
 // Server is the sqod service. Create with New, expose via Handler.
@@ -79,6 +89,7 @@ type Server struct {
 	cache   *Cache
 	sem     chan struct{} // admission-control semaphore
 	policy  sqo.JoinOrderPolicy
+	store   *store.Store // nil when running in-memory
 
 	datasets *datasetStore
 }
@@ -112,15 +123,26 @@ func New(cfg Config) *Server {
 	m := NewMetrics()
 	c := NewCache(cfg.CacheSize)
 	c.metrics = m
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		log:      cfg.Logger,
 		metrics:  m,
 		cache:    c,
 		sem:      make(chan struct{}, cfg.MaxInflight),
 		policy:   policy,
+		store:    cfg.Store,
 		datasets: newDatasetStore(m),
 	}
+	if s.store != nil {
+		m.StoreStats = func() (int64, int64, int64) {
+			c := s.store.Counters()
+			return c.Appends, c.Bytes, c.Checkpoints
+		}
+		if cfg.Recovered != nil {
+			s.restore(cfg.Recovered)
+		}
+	}
+	return s
 }
 
 // Metrics exposes the server's registry (for tests and embedding).
@@ -260,7 +282,11 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse_error", "parsing facts: %v", err)
 		return
 	}
-	ds, created := s.datasets.create(name, facts, time.Now())
+	ds, created, err := s.datasets.create(name, facts, time.Now(), s.persistCreate(name, facts))
+	if err != nil {
+		s.writeStoreError(w, "create", name, err)
+		return
+	}
 	if created {
 		writeJSON(w, http.StatusOK, ds.describe())
 		return
@@ -269,6 +295,23 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	adds, dels := ds.diffLocked(facts)
 	ds.mu.Unlock()
 	s.updateDataset(w, r, ds, adds, dels)
+}
+
+// persistCreate returns the WAL-append callback for a dataset create,
+// or nil when the server runs in-memory.
+func (s *Server) persistCreate(name string, facts []sqo.Atom) func() error {
+	if s.store == nil {
+		return nil
+	}
+	return func() error { return s.store.AppendDatasetCreate(name, facts) }
+}
+
+// writeStoreError reports a failed write-ahead append. The mutation
+// was NOT applied — durability is part of the acknowledgment contract,
+// so a store failure fails the request.
+func (s *Server) writeStoreError(w http.ResponseWriter, op, name string, err error) {
+	s.log.Error("wal append failed", "op", op, "name", name, "err", err)
+	writeError(w, http.StatusInternalServerError, "store_error", "durable %s failed: %v", op, err)
 }
 
 // handleDatasetPost registers a new dataset, answering 409 when the
@@ -289,7 +332,11 @@ func (s *Server) handleDatasetPost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse_error", "parsing facts: %v", err)
 		return
 	}
-	ds, created := s.datasets.create(name, facts, time.Now())
+	ds, created, err := s.datasets.create(name, facts, time.Now(), s.persistCreate(name, facts))
+	if err != nil {
+		s.writeStoreError(w, "create", name, err)
+		return
+	}
 	if !created {
 		writeError(w, http.StatusConflict, "dataset_exists", "dataset %q is already registered (PUT replaces)", name)
 		return

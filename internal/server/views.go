@@ -9,6 +9,7 @@ import (
 	"time"
 
 	sqo "repro"
+	"repro/internal/store"
 )
 
 // This file implements the mutable-dataset surface: fact-level
@@ -62,6 +63,16 @@ func (s *Server) updateDataset(w http.ResponseWriter, r *http.Request, ds *datas
 
 	start := time.Now()
 	ds.mu.Lock()
+	// Write-ahead: the mutation reaches the log (durable per the fsync
+	// policy) before it is applied or acknowledged. Under ds.mu, so the
+	// WAL records for one dataset land in application order.
+	if s.store != nil {
+		if err := s.store.AppendFacts(ds.name, adds, dels); err != nil {
+			ds.mu.Unlock()
+			s.writeStoreError(w, "update", ds.name, err)
+			return
+		}
+	}
 	up := ds.updateLocked(ctx, adds, dels, time.Now())
 	info := ds.describeLocked()
 	ds.mu.Unlock()
@@ -120,7 +131,15 @@ func (s *Server) handleFactsDelete(w http.ResponseWriter, r *http.Request) {
 // (DELETE /v1/datasets/{name}).
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ds, ok := s.datasets.delete(name)
+	var persist func() error
+	if s.store != nil {
+		persist = func() error { return s.store.AppendDatasetDelete(name) }
+	}
+	ds, ok, err := s.datasets.delete(name, persist)
+	if err != nil {
+		s.writeStoreError(w, "delete", name, err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown_dataset", "dataset %q is not registered", name)
 		return
@@ -275,6 +294,19 @@ func (s *Server) handleViewCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeEvalError(w, err)
 		return
 	}
+	// The registration is logged before the view becomes visible (and
+	// before the 200): recovery re-materializes from the stored source,
+	// so only the definition needs to be durable, not the answers.
+	if s.store != nil {
+		err := s.store.AppendViewRegister(name, store.ViewDef{
+			Name: vname, Program: req.Program, ICs: req.ICs, Optimized: doOptimize,
+		})
+		if err != nil {
+			ds.mu.Unlock()
+			s.writeStoreError(w, "view create", vname, err)
+			return
+		}
+	}
 	mv := &matView{name: vname, program: prog, optimized: doOptimize, view: view, createdAt: time.Now()}
 	ds.views[vname] = mv
 	ds.mu.Unlock()
@@ -314,6 +346,13 @@ func (s *Server) handleViewDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	ds.mu.Lock()
 	_, ok = ds.views[vname]
+	if ok && s.store != nil {
+		if err := s.store.AppendViewDrop(name, vname); err != nil {
+			ds.mu.Unlock()
+			s.writeStoreError(w, "view delete", vname, err)
+			return
+		}
+	}
 	delete(ds.views, vname)
 	ds.mu.Unlock()
 	if !ok {

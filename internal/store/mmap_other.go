@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without the unix mmap syscall surface reads the
+// file into memory; callers see the identical interface.
+func mapFile(path string) ([]byte, func(), error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() {}, nil
+}

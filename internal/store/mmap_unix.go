@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only and returns the byte view plus an
+// unmap function. Empty files return a nil slice (mmap of length 0 is
+// an error on Linux). The segment format is 4-byte aligned end to end
+// precisely so this view can be consumed in place.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Mmap can fail on filesystems without mapping support; fall
+		// back to a plain read.
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return b, func() {}, nil
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

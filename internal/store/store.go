@@ -1,0 +1,707 @@
+// Package store is sqod's persistence subsystem: a write-ahead log
+// plus immutable checkpoint segments underneath the interned row
+// representation that the compiled-plan engine evaluates over.
+//
+// The durable state is the mutable-dataset surface of the server —
+// named datasets of ground facts and the views registered on them.
+// Every mutation is appended to the WAL as one checksummed record
+// (wal.go) before it is acknowledged; rows travel in the interned
+// []uint32 format against a persistent symbol table. At checkpoint the
+// whole state is written as an immutable, memory-mappable segment file
+// (segment.go) — flat little-endian row images, the symbol table, and
+// one distinct-value sketch per column — after which the WAL is
+// truncated. Recovery loads the newest segment and replays the WAL
+// tail; a torn or corrupt tail ends the log at the last complete
+// record, so an acknowledged operation is never lost and a partially
+// written one never partially applies.
+//
+// The Store also maintains the recovered state in memory (datasets →
+// predicates → deduplicated interned rows plus per-column sketches),
+// which is what checkpoints serialize and what the crash-recovery
+// differential test compares bit-for-bit against an uninterrupted
+// run. A Store opened with an empty directory path is ephemeral: the
+// same mirror and statistics with no I/O, used by benchmarks to
+// isolate the durability overhead.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append, before the operation is
+	// acknowledged: an acked write survives power loss.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a timer (Options.FsyncInterval): an acked
+	// write survives process death immediately but may be lost to power
+	// failure within one interval.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache.
+	FsyncNever
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// ParseFsyncPolicy parses "always", "interval", or "never" (the empty
+// string means always), for wiring the -fsync flag.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncAlways, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Fsync selects the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the timer period under FsyncInterval (default
+	// 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery writes a checkpoint segment and truncates the WAL
+	// after this many appended records (0 = only explicit Checkpoint
+	// calls).
+	CheckpointEvery int
+}
+
+// Counters is a snapshot of the store's monotonic instrumentation.
+type Counters struct {
+	Appends     int64 // WAL records appended
+	Bytes       int64 // WAL bytes appended (framing included)
+	Checkpoints int64 // segments written
+}
+
+// ViewDef is the durable description of one registered view: enough
+// to rebuild it (the materialized answers themselves are derived
+// state, reconstructed at recovery through the incremental-maintenance
+// machinery).
+type ViewDef struct {
+	Name      string
+	Program   string // datalog source incl. query declaration
+	ICs       string // integrity constraints, source syntax
+	Optimized bool   // materialize over the Levy–Sagiv rewrite
+}
+
+// OpKind discriminates recovered WAL-tail operations.
+type OpKind int
+
+const (
+	OpDatasetCreate OpKind = iota + 1
+	OpDatasetDelete
+	OpFacts
+	OpViewRegister
+	OpViewDrop
+)
+
+// Op is one recovered WAL-tail operation in public (atom-level) form,
+// replayed by the server after the checkpoint base is restored.
+type Op struct {
+	Kind    OpKind
+	Dataset string
+	Adds    []ast.Atom // OpDatasetCreate (initial facts), OpFacts
+	Dels    []ast.Atom // OpFacts
+	View    ViewDef    // OpViewRegister (full), OpViewDrop (Name only)
+}
+
+// DatasetSnapshot is one dataset's state at the newest checkpoint.
+type DatasetSnapshot struct {
+	Name  string
+	Facts []ast.Atom // deterministic order: predicate, then row
+	Views []ViewDef  // sorted by name
+}
+
+// Recovered describes what Open reconstructed: the checkpoint base
+// plus the WAL tail, in replay order.
+type Recovered struct {
+	Datasets   []DatasetSnapshot // state at the newest checkpoint
+	Tail       []Op              // WAL operations after the checkpoint
+	WALRecords int               // tail records replayed
+	WALBytes   int64             // tail bytes replayed
+	Truncated  bool              // a torn/corrupt tail was cut at the last good record
+	Elapsed    time.Duration     // wall clock spent in Open
+}
+
+// predState is one predicate's interned rows and statistics.
+type predState struct {
+	arity    int
+	rows     map[string][]uint32 // canonical row bytes → row
+	sketches []eval.ColSketch    // one per column
+}
+
+func newPredState(arity int) *predState {
+	return &predState{arity: arity, rows: map[string][]uint32{}, sketches: make([]eval.ColSketch, arity)}
+}
+
+func rowKey(row []uint32) string {
+	b := make([]byte, 0, 4*len(row))
+	for _, v := range row {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// add inserts a row, updating the sketches; reports whether it was new.
+func (ps *predState) add(row []uint32) bool {
+	if len(row) != ps.arity {
+		return false // arity conflict: ignore rather than corrupt state
+	}
+	k := rowKey(row)
+	if _, ok := ps.rows[k]; ok {
+		return false
+	}
+	ps.rows[k] = row
+	for j, v := range row {
+		ps.sketches[j].Add(v)
+	}
+	return true
+}
+
+// rebuildSketches recomputes the per-column sketches from the
+// surviving rows. Called after retractions: sketch state is a pure
+// function of the value set, so this matches what an uninterrupted
+// insert-only history would hold.
+func (ps *predState) rebuildSketches() {
+	ps.sketches = make([]eval.ColSketch, ps.arity)
+	for _, row := range ps.rows {
+		for j, v := range row {
+			ps.sketches[j].Add(v)
+		}
+	}
+}
+
+// sortedRows returns the rows in lexicographic order.
+func (ps *predState) sortedRows() [][]uint32 {
+	out := make([][]uint32, 0, len(ps.rows))
+	keys := make([]string, 0, len(ps.rows))
+	for k := range ps.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, ps.rows[k])
+	}
+	return out
+}
+
+// dsState is one dataset's durable state.
+type dsState struct {
+	preds map[string]*predState
+	views map[string]ViewDef
+}
+
+func newDsState() *dsState {
+	return &dsState{preds: map[string]*predState{}, views: map[string]ViewDef{}}
+}
+
+// Store is the persistence subsystem. All methods are safe for
+// concurrent use; appends serialize.
+type Store struct {
+	mu   sync.Mutex
+	dir  string // "" = ephemeral (no I/O)
+	opts Options
+
+	syms     *symtab
+	datasets map[string]*dsState
+
+	wal     *os.File
+	walName string
+	segName string
+	seq     uint64 // generation counter for wal/segment file names
+
+	appends     int64
+	walBytes    int64
+	checkpoints int64
+	sinceCkpt   int
+
+	closed   bool
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (or initializes) a store rooted at dir and recovers its
+// state: newest checkpoint segment first, then the WAL tail. An empty
+// dir yields an ephemeral in-memory store (no files, no fsync), whose
+// mirror and statistics behave identically.
+func Open(dir string, opts Options) (*Store, *Recovered, error) {
+	start := time.Now()
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		syms:     newSymtab(),
+		datasets: map[string]*dsState{},
+	}
+	rec := &Recovered{}
+	if dir == "" {
+		rec.Elapsed = time.Since(start)
+		return s, rec, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if err := s.recover(rec); err != nil {
+		return nil, nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	rec.Elapsed = time.Since(start)
+	return s, rec, nil
+}
+
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			if s.wal != nil && !s.closed {
+				_ = s.wal.Sync()
+			}
+			s.mu.Unlock()
+		case <-s.stopSync:
+			return
+		}
+	}
+}
+
+// Counters returns a snapshot of the append/checkpoint instrumentation.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{Appends: s.appends, Bytes: s.walBytes, Checkpoints: s.checkpoints}
+}
+
+// Dir returns the store's root directory ("" when ephemeral).
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs and closes the WAL. It does not checkpoint; callers
+// that want a truncated WAL on shutdown call Checkpoint first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.wal != nil {
+		if serr := s.wal.Sync(); serr != nil {
+			err = serr
+		}
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	stop := s.stopSync
+	done := s.syncDone
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// --- append paths -----------------------------------------------------
+
+// AppendDatasetCreate logs dataset creation with its initial facts.
+// Creating a dataset that already exists is a no-op on replay, so the
+// caller resolves create races before appending.
+func (s *Store) AppendDatasetCreate(name string, facts []ast.Atom) error {
+	return s.append(func(st *symtab) *iop {
+		return &iop{kind: opDatasetCreate, ds: st.internStr(name), adds: st.internFacts(facts)}
+	})
+}
+
+// AppendDatasetDelete logs dataset removal.
+func (s *Store) AppendDatasetDelete(name string) error {
+	return s.append(func(st *symtab) *iop {
+		return &iop{kind: opDatasetDelete, ds: st.internStr(name)}
+	})
+}
+
+// AppendFacts logs one fact mutation batch: retractions then
+// insertions, with an atom present in both treated as a no-op —
+// exactly the server's update semantics.
+func (s *Store) AppendFacts(dataset string, adds, dels []ast.Atom) error {
+	return s.append(func(st *symtab) *iop {
+		return &iop{
+			kind: opFacts,
+			ds:   st.internStr(dataset),
+			adds: st.internFacts(adds),
+			dels: st.internFacts(dels),
+		}
+	})
+}
+
+// AppendViewRegister logs view registration.
+func (s *Store) AppendViewRegister(dataset string, v ViewDef) error {
+	return s.append(func(st *symtab) *iop {
+		return &iop{
+			kind: opViewRegister, ds: st.internStr(dataset), view: st.internStr(v.Name),
+			prog: v.Program, ics: v.ICs, optimized: v.Optimized,
+		}
+	})
+}
+
+// AppendViewDrop logs view removal.
+func (s *Store) AppendViewDrop(dataset, view string) error {
+	return s.append(func(st *symtab) *iop {
+		return &iop{kind: opViewDrop, ds: st.internStr(dataset), view: st.internStr(view)}
+	})
+}
+
+// append encodes one operation, writes it to the WAL under the fsync
+// policy, applies it to the in-memory mirror, and auto-checkpoints
+// when the configured record count is reached. The operation is
+// durable (per the policy) when append returns nil; on error nothing
+// is applied.
+func (s *Store) append(build func(*symtab) *iop) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	nsyms := len(s.syms.syms)
+	op := build(s.syms)
+	if s.wal != nil {
+		rec := frame(encodePayload(op, s.syms, nsyms))
+		if _, err := s.wal.Write(rec); err != nil {
+			s.syms.rollback(nsyms)
+			return fmt.Errorf("store: wal append: %w", err)
+		}
+		if s.opts.Fsync == FsyncAlways {
+			if err := s.wal.Sync(); err != nil {
+				// The write may or may not be durable; the mirror stays
+				// behind it either way, matching replay (which would also
+				// apply the record if it survived).
+				s.syms.rollback(nsyms)
+				return fmt.Errorf("store: wal fsync: %w", err)
+			}
+		}
+		s.walBytes += int64(len(rec))
+	}
+	s.appends++
+	s.apply(op)
+	s.sinceCkpt++
+	if s.opts.CheckpointEvery > 0 && s.sinceCkpt >= s.opts.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			return fmt.Errorf("store: auto-checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply mutates the mirror. Replay calls it with decoded records, the
+// live path with freshly encoded ones, so mirror state is always a
+// pure function of the durable operation sequence.
+func (s *Store) apply(op *iop) {
+	name := s.syms.str(op.ds)
+	switch op.kind {
+	case opDatasetCreate:
+		if _, ok := s.datasets[name]; ok {
+			return
+		}
+		ds := newDsState()
+		s.datasets[name] = ds
+		s.applyFacts(ds, op.adds, nil)
+	case opDatasetDelete:
+		delete(s.datasets, name)
+	case opFacts:
+		if ds, ok := s.datasets[name]; ok {
+			s.applyFacts(ds, op.adds, op.dels)
+		}
+	case opViewRegister:
+		if ds, ok := s.datasets[name]; ok {
+			vname := s.syms.str(op.view)
+			if _, exists := ds.views[vname]; !exists {
+				ds.views[vname] = ViewDef{Name: vname, Program: op.prog, ICs: op.ics, Optimized: op.optimized}
+			}
+		}
+	case opViewDrop:
+		if ds, ok := s.datasets[name]; ok {
+			delete(ds.views, s.syms.str(op.view))
+		}
+	}
+}
+
+// applyFacts applies retractions then insertions. A fact in both lists
+// is a no-op; predicates that lost rows get their sketches rebuilt
+// from the survivors (set semantics keep that bit-identical to an
+// insert-only history).
+func (s *Store) applyFacts(ds *dsState, adds, dels []ifact) {
+	if len(dels) > 0 {
+		inAdds := make(map[uint32]map[string]bool)
+		for _, f := range adds {
+			m := inAdds[f.pred]
+			if m == nil {
+				m = map[string]bool{}
+				inAdds[f.pred] = m
+			}
+			m[rowKey(f.row)] = true
+		}
+		dirty := map[string]*predState{}
+		for _, f := range dels {
+			k := rowKey(f.row)
+			if inAdds[f.pred][k] {
+				continue
+			}
+			pname := s.syms.str(f.pred)
+			ps := ds.preds[pname]
+			if ps == nil {
+				continue
+			}
+			if _, ok := ps.rows[k]; ok {
+				delete(ps.rows, k)
+				dirty[pname] = ps
+			}
+		}
+		for _, ps := range dirty {
+			ps.rebuildSketches()
+		}
+	}
+	for _, f := range adds {
+		pname := s.syms.str(f.pred)
+		ps := ds.preds[pname]
+		if ps == nil {
+			ps = newPredState(len(f.row))
+			ds.preds[pname] = ps
+		}
+		ps.add(f.row)
+	}
+}
+
+// --- introspection (tests, benchmarks, differential checks) ----------
+
+// Datasets returns the dataset names, sorted.
+func (s *Store) Datasets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Facts returns a dataset's facts in deterministic (predicate, row)
+// order, or nil when the dataset does not exist.
+func (s *Store) Facts(dataset string) []ast.Atom {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds := s.datasets[dataset]
+	if ds == nil {
+		return nil
+	}
+	return s.factsLocked(ds)
+}
+
+func (s *Store) factsLocked(ds *dsState) []ast.Atom {
+	preds := make([]string, 0, len(ds.preds))
+	for p := range ds.preds {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	var out []ast.Atom
+	for _, p := range preds {
+		ps := ds.preds[p]
+		pred := s.syms.internStr(p) // known: no new id
+		for _, row := range ps.sortedRows() {
+			out = append(out, s.syms.atom(ifact{pred: pred, row: row}))
+		}
+	}
+	return out
+}
+
+// Views returns a dataset's registered views sorted by name.
+func (s *Store) Views(dataset string) []ViewDef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds := s.datasets[dataset]
+	if ds == nil {
+		return nil
+	}
+	return viewList(ds)
+}
+
+func viewList(ds *dsState) []ViewDef {
+	out := make([]ViewDef, 0, len(ds.views))
+	for _, v := range ds.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Rows returns a predicate's interned rows in lexicographic order.
+func (s *Store) Rows(dataset, pred string) [][]uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ds := s.datasets[dataset]; ds != nil {
+		if ps := ds.preds[pred]; ps != nil {
+			return ps.sortedRows()
+		}
+	}
+	return nil
+}
+
+// Sketches returns a predicate's per-column distinct sketches. The
+// returned slice is live; callers must treat it as read-only.
+func (s *Store) Sketches(dataset, pred string) []eval.ColSketch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ds := s.datasets[dataset]; ds != nil {
+		if ps := ds.preds[pred]; ps != nil {
+			return ps.sketches
+		}
+	}
+	return nil
+}
+
+// DiffState compares the full durable state of two stores — datasets,
+// views, interned rows, and per-column sketches — and returns a
+// human-readable description of the first difference, or "" when they
+// are bit-identical. Symbol-table-dependent state (spilled sketches)
+// compares equal only when both stores assigned identical ids, which
+// is exactly the reproducibility recovery must provide.
+func (s *Store) DiffState(o *Store) string {
+	a, b := s.Datasets(), o.Datasets()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		return fmt.Sprintf("datasets %v vs %v", a, b)
+	}
+	for _, name := range a {
+		av, bv := s.Views(name), o.Views(name)
+		if fmt.Sprint(av) != fmt.Sprint(bv) {
+			return fmt.Sprintf("dataset %s views %v vs %v", name, av, bv)
+		}
+		s.mu.Lock()
+		preds := make([]string, 0)
+		for p := range s.datasets[name].preds {
+			preds = append(preds, p)
+		}
+		s.mu.Unlock()
+		o.mu.Lock()
+		for p := range o.datasets[name].preds {
+			found := false
+			for _, q := range preds {
+				if q == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				preds = append(preds, p)
+			}
+		}
+		o.mu.Unlock()
+		sort.Strings(preds)
+		for _, p := range preds {
+			ar, br := s.Rows(name, p), o.Rows(name, p)
+			if fmt.Sprint(ar) != fmt.Sprint(br) {
+				return fmt.Sprintf("dataset %s pred %s rows differ (%d vs %d)", name, p, len(ar), len(br))
+			}
+			as, bs := s.Sketches(name, p), o.Sketches(name, p)
+			if len(as) != len(bs) {
+				return fmt.Sprintf("dataset %s pred %s sketch arity %d vs %d", name, p, len(as), len(bs))
+			}
+			for j := range as {
+				if !as[j].Equal(&bs[j]) {
+					return fmt.Sprintf("dataset %s pred %s column %d sketches differ", name, p, j)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// snapshotLocked renders the mirror as the public checkpoint-base
+// form, used both by Recovered and by tests.
+func (s *Store) snapshotLocked() []DatasetSnapshot {
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DatasetSnapshot, 0, len(names))
+	for _, name := range names {
+		ds := s.datasets[name]
+		out = append(out, DatasetSnapshot{Name: name, Facts: s.factsLocked(ds), Views: viewList(ds)})
+	}
+	return out
+}
+
+// publicOp converts a decoded record to atom-level form.
+func (s *Store) publicOp(op *iop) Op {
+	out := Op{Dataset: s.syms.str(op.ds)}
+	switch op.kind {
+	case opDatasetCreate:
+		out.Kind = OpDatasetCreate
+	case opDatasetDelete:
+		out.Kind = OpDatasetDelete
+	case opFacts:
+		out.Kind = OpFacts
+	case opViewRegister:
+		out.Kind = OpViewRegister
+		out.View = ViewDef{Name: s.syms.str(op.view), Program: op.prog, ICs: op.ics, Optimized: op.optimized}
+	case opViewDrop:
+		out.Kind = OpViewDrop
+		out.View = ViewDef{Name: s.syms.str(op.view)}
+	}
+	for _, f := range op.adds {
+		out.Adds = append(out.Adds, s.syms.atom(f))
+	}
+	for _, f := range op.dels {
+		out.Dels = append(out.Dels, s.syms.atom(f))
+	}
+	return out
+}
+
+// Checkpoint writes the current state as an immutable segment,
+// truncates the WAL, and updates the manifest. Ephemeral stores only
+// reset the auto-checkpoint counter.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.checkpointLocked()
+}
+
+func filename(dir, prefix string, seq uint64, ext string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%06d%s", prefix, seq, ext))
+}

@@ -4,8 +4,12 @@
 # Boots sqod on a private port, registers a dataset, runs the same
 # optimized query twice (the second must hit the rewrite cache),
 # scrapes /metrics for the cache counters, then sends SIGTERM and
-# asserts the daemon drains and exits 0. `make serve-smoke` and the CI
-# serve-smoke job both run exactly this script.
+# asserts the daemon drains and exits 0. The first pass runs without
+# -data-dir (pure in-memory, exactly as before durability existed);
+# a second pass starts a durable daemon, populates it, stops it, and
+# restarts on the same directory asserting datasets, facts, and live
+# views all survive. `make serve-smoke` and the CI serve-smoke job
+# both run exactly this script.
 set -euo pipefail
 
 ADDR="${SQOD_ADDR:-127.0.0.1:18351}"
@@ -97,5 +101,71 @@ STATUS=0
 wait "$SQOD_PID" || STATUS=$?
 [ "$STATUS" -eq 0 ] || fail "sqod exited $STATUS after SIGTERM (want 0)"
 grep -q "clean shutdown" "$WORK/sqod.log" || fail "no clean-shutdown line in the log"
+
+# --- durability: stop/restart cycle on a -data-dir --------------------
+
+DATA="$WORK/data"
+
+echo "serve-smoke: starting durable sqod (-data-dir)"
+"$WORK/sqod" -addr "$ADDR" -data-dir "$DATA" -drain 10s >"$WORK/sqod.log" 2>&1 &
+SQOD_PID=$!
+for i in $(seq 1 100); do
+	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+	kill -0 "$SQOD_PID" 2>/dev/null || fail "durable sqod exited during startup"
+	[ "$i" -eq 100 ] && fail "durable sqod did not become healthy within 10s"
+	sleep 0.1
+done
+
+echo "serve-smoke: populating the durable daemon"
+curl -fsS -X PUT "$BASE/v1/datasets/quickstart" --data-binary '
+	step(1, 2). step(2, 3). step(3, 4). step(2, 5).
+	startPoint(1). startPoint(2). endPoint(4). endPoint(5).
+' >/dev/null || fail "durable dataset registration failed"
+curl -fsS -X POST "$BASE/v1/datasets/quickstart/views/paths" -H 'Content-Type: application/json' \
+	-d '{"program": "path(X, Y) :- step(X, Y). path(X, Y) :- step(X, Z), path(Z, Y). ?- path.", "optimize": false}' >/dev/null \
+	|| fail "durable view create failed"
+curl -fsS -X POST "$BASE/v1/datasets/quickstart/facts" --data-binary 'step(5, 6).' >/dev/null || fail "durable fact insert failed"
+curl -fsS "$BASE/v1/datasets/quickstart/views/paths" >"$WORK/dv1.json" || fail "durable view get failed"
+jq -e '.answer_count == 11' "$WORK/dv1.json" >/dev/null || fail "unexpected durable view: $(cat "$WORK/dv1.json")"
+curl -fsS "$BASE/metrics" >"$WORK/dmetrics.txt" || fail "durable metrics scrape failed"
+grep -Eq '^sqod_wal_appends_total [1-9]' "$WORK/dmetrics.txt" || fail "sqod_wal_appends_total not positive"
+grep -Eq '^sqod_wal_bytes_total [1-9]' "$WORK/dmetrics.txt" || fail "sqod_wal_bytes_total not positive"
+
+echo "serve-smoke: stopping the durable daemon (final checkpoint)"
+kill -TERM "$SQOD_PID"
+STATUS=0
+wait "$SQOD_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "durable sqod exited $STATUS after SIGTERM (want 0)"
+grep -q "final checkpoint written" "$WORK/sqod.log" || fail "no final-checkpoint line in the log"
+
+echo "serve-smoke: restarting on the same -data-dir"
+"$WORK/sqod" -addr "$ADDR" -data-dir "$DATA" -drain 10s >"$WORK/sqod.log" 2>&1 &
+SQOD_PID=$!
+for i in $(seq 1 100); do
+	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+	kill -0 "$SQOD_PID" 2>/dev/null || fail "restarted sqod exited during startup"
+	[ "$i" -eq 100 ] && fail "restarted sqod did not become healthy within 10s"
+	sleep 0.1
+done
+
+echo "serve-smoke: asserting datasets, facts, and views survived the restart"
+curl -fsS "$BASE/v1/datasets" >"$WORK/dlist.json" || fail "dataset list failed after restart"
+jq -e 'length == 1 and .[0].name == "quickstart" and .[0].facts == 9 and .[0].views == ["paths"]' "$WORK/dlist.json" >/dev/null \
+	|| fail "recovered inventory wrong: $(cat "$WORK/dlist.json")"
+curl -fsS "$BASE/v1/datasets/quickstart/views/paths" >"$WORK/dv2.json" || fail "view get failed after restart"
+jq -e '.answer_count == 11' "$WORK/dv2.json" >/dev/null || fail "recovered view wrong: $(cat "$WORK/dv2.json")"
+[ "$(jq -cS .answers "$WORK/dv1.json")" = "$(jq -cS .answers "$WORK/dv2.json")" ] || fail "view answers differ across restart"
+grep -Eq '^sqod_recovery_seconds [0-9]' <(curl -fsS "$BASE/metrics") || fail "sqod_recovery_seconds missing after restart"
+
+echo "serve-smoke: view still maintainable after recovery"
+curl -fsS -X POST "$BASE/v1/datasets/quickstart/facts" --data-binary 'step(6, 7).' >"$WORK/du1.json" || fail "post-recovery insert failed"
+jq -e '.views[0].answers_added >= 1' "$WORK/du1.json" >/dev/null || fail "recovered view not maintained: $(cat "$WORK/du1.json")"
+
+echo "serve-smoke: final SIGTERM — expecting a clean drain"
+kill -TERM "$SQOD_PID"
+STATUS=0
+wait "$SQOD_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "restarted sqod exited $STATUS after SIGTERM (want 0)"
+grep -q "clean shutdown" "$WORK/sqod.log" || fail "no clean-shutdown line in the restart log"
 
 echo "serve-smoke: PASS"
