@@ -58,10 +58,12 @@ bench-regression:
 	$(GO) run ./cmd/sqobench -run P4 -out bench-out/bench4.json
 	$(GO) run ./cmd/sqobench -run P6 -out bench-out/bench6.json
 	$(GO) run ./cmd/sqobench -run P7 -out bench-out/bench7.json
+	$(GO) run ./cmd/sqobench -run P8 -out bench-out/bench8.json
 	$(GO) run ./cmd/benchdiff -label P3 -baseline BENCH_3.json -current bench-out/bench3.json
 	$(GO) run ./cmd/benchdiff -label P4 -baseline BENCH_4.json -current bench-out/bench4.json
 	$(GO) run ./cmd/benchdiff -label P6 -baseline BENCH_6.json -current bench-out/bench6.json
 	$(GO) run ./cmd/benchdiff -label P7 -baseline BENCH_7.json -current bench-out/bench7.json
+	$(GO) run ./cmd/benchdiff -label P8 -peak-mem -baseline BENCH_8.json -current bench-out/bench8.json
 
 # A short native-fuzzing pass over the parser. Long enough to exercise
 # the mutator, short enough for CI; sustained campaigns should raise

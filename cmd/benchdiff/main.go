@@ -15,6 +15,11 @@
 //     the current value exceeds 2x the baseline AND the absolute growth
 //     clears a noise floor (250µs for timings), so micro-measurements
 //     cannot flap the job.
+//   - Peak materialized tuples (peak_tuples) is deterministic but only
+//     gates the run under -peak-mem: the column exists to catch memory
+//     regressions in the goal-directed/streaming paths (P8), and the
+//     flag lets jobs opt in per experiment. Without the flag, growth is
+//     reported as informational.
 //   - Everything else (probes, answers, derived, reorders) is work the
 //     engine does deterministically; any change is reported, and growth
 //     counts as a regression.
@@ -53,6 +58,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed baseline JSON (required)")
 	currentPath := flag.String("current", "", "freshly generated JSON (required)")
 	label := flag.String("label", "", "experiment label for the table heading")
+	flag.BoolVar(&gatePeakMem, "peak-mem", false, "fail the run when peak materialized tuples (peak_tuples) grow")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		flag.Usage()
@@ -174,6 +180,11 @@ func isTiming(metric string) bool {
 	return strings.HasSuffix(metric, "_ns") || metric == "ns_op" || metric == "allocs_op"
 }
 
+// gatePeakMem is the -peak-mem flag: when set, growth in the
+// peak-materialized-tuples column is a regression rather than an
+// informational delta.
+var gatePeakMem bool
+
 // judge classifies one metric delta. The empty verdict suppresses the
 // row (unchanged deterministic metric); bad marks a regression.
 func judge(metric string, base, cur float64) (verdict string, bad bool) {
@@ -190,10 +201,23 @@ func judge(metric string, base, cur float64) (verdict string, bad bool) {
 		}
 		return "ok", false
 	}
+	if metric == "peak_tuples" && !gatePeakMem {
+		switch {
+		case cur == base:
+			return "", false
+		case cur > base:
+			return "more peak memory (info; gate with -peak-mem)", false
+		default:
+			return "less peak memory", false
+		}
+	}
 	switch {
 	case cur == base:
 		return "", false
 	case cur > base:
+		if metric == "peak_tuples" {
+			return "**more peak memory**", true
+		}
 		return "**more work**", true
 	default:
 		return "less work", false

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	sqoc [-facts file] [-explain] [-baseline] [-stats] [-parallel n]
-//	     [-order greedy|cost|adaptive] [-timeout d] [-budget n] [file]
+//	     [-order greedy|cost|adaptive] [-magic auto|on|off]
+//	     [-timeout d] [-budget n] [file]
 //
 // Exit status:
 //
@@ -51,11 +52,16 @@ func main() {
 	lintFlag := flag.Bool("lint", false, "run the semantic linter before optimizing; exit 1 on lint errors")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = one per CPU, 1 = sequential)")
 	order := flag.String("order", "", "join-order policy: greedy (default), cost, or adaptive")
+	magicFlag := flag.String("magic", "", "magic-sets rewrite for goal queries like '?- path(a, Y).': auto (default), on, or off")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on optimization + evaluation (0 = none)")
 	budget := flag.Int64("budget", 0, "derived-tuple budget per evaluation (0 = unlimited)")
 	flag.Parse()
 
 	policy, err := sqo.ParseJoinOrderPolicy(*order)
+	if err != nil {
+		log.Fatal(err)
+	}
+	magicMode, err := sqo.ParseMagicMode(*magicFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +86,8 @@ func main() {
 	}
 
 	if *lintFlag {
-		rep := sqo.Lint(ctx, unit.Program, unit.ICs, unit.Facts, sqo.LintOptions{})
+		rep := sqo.Lint(ctx, unit.Program, unit.ICs, unit.Facts,
+			sqo.LintOptions{MagicEnabled: magicMode != sqo.MagicOff})
 		if len(rep.Findings) > 0 {
 			if err := sqo.WriteLintText(os.Stderr, flag.Arg(0), rep); err != nil {
 				log.Fatal(err)
@@ -135,6 +142,7 @@ func main() {
 		opts.Workers = *parallel
 		opts.MaxTuples = *budget
 		opts.Policy = policy
+		opts.Magic = magicMode
 		origTuples, origStats, err := sqo.QueryCtx(ctx, unit.Program, db, opts)
 		if err != nil {
 			fatal(err, *timeout, *budget)
@@ -143,10 +151,14 @@ func main() {
 		if err != nil {
 			fatal(err, *timeout, *budget)
 		}
+		goalNote := ""
+		if optStats.MagicApplied {
+			goalNote = " (magic-sets, goal-directed)"
+		}
 		fmt.Printf("\n%% original : %d answers, %d tuples derived, %d join probes\n",
 			len(origTuples), origStats.TuplesDerived, origStats.JoinProbes)
-		fmt.Printf("%% optimized: %d answers, %d tuples derived, %d join probes\n",
-			len(optTuples), optStats.TuplesDerived, optStats.JoinProbes)
+		fmt.Printf("%% optimized: %d answers, %d tuples derived, %d join probes%s\n",
+			len(optTuples), optStats.TuplesDerived, optStats.JoinProbes, goalNote)
 		for _, t := range optTuples {
 			fmt.Printf("%s%s.\n", unit.Program.Query, t)
 		}

@@ -12,6 +12,15 @@ type Program struct {
 	Rules []Rule
 	// Query names the distinguished IDB query predicate.
 	Query string
+	// Goal optionally carries the query's argument terms, written
+	// `?- pred(t1, ..., tn).` in source syntax. nil means the bare
+	// `?- pred.` form (ask for the whole relation). Constants in the
+	// goal are selections on the query predicate — evaluation returns
+	// only the tuples matching them — and they are the binding
+	// information the magic-sets rewrite (internal/magic) turns into
+	// demand predicates. Repeated goal variables additionally require
+	// equal values at their positions.
+	Goal []Term
 }
 
 // Clone returns a deep copy of the program.
@@ -20,7 +29,50 @@ func (p *Program) Clone() *Program {
 	for i, r := range p.Rules {
 		out.Rules[i] = r.Clone()
 	}
+	if p.Goal != nil {
+		out.Goal = append([]Term(nil), p.Goal...)
+	}
 	return out
+}
+
+// GoalAtom returns the query as an atom: the query predicate applied
+// to the goal terms (no arguments for the bare `?- pred.` form).
+func (p *Program) GoalAtom() Atom {
+	return Atom{Pred: p.Query, Args: p.Goal}
+}
+
+// MatchesGoal reports whether a tuple of the query relation satisfies
+// the goal: constants must be equal at their positions, and positions
+// sharing a goal variable must hold equal values. A nil goal matches
+// everything. The tuple must have exactly len(p.Goal) terms when a
+// goal is present.
+func (p *Program) MatchesGoal(tuple []Term) bool {
+	if len(p.Goal) == 0 {
+		return true
+	}
+	if len(tuple) != len(p.Goal) {
+		return false
+	}
+	var binding map[string]Term
+	for i, g := range p.Goal {
+		if g.IsConst() {
+			if !g.Equal(tuple[i]) {
+				return false
+			}
+			continue
+		}
+		if binding == nil {
+			binding = make(map[string]Term, len(p.Goal))
+		}
+		if prev, ok := binding[g.Name]; ok {
+			if !prev.Equal(tuple[i]) {
+				return false
+			}
+			continue
+		}
+		binding[g.Name] = tuple[i]
+	}
+	return true
 }
 
 // IDB returns the set of IDB predicates: those appearing in rule heads.
@@ -105,6 +157,16 @@ func (p *Program) Validate() error {
 	// empty relation — the natural output of optimizing a query that
 	// is unsatisfiable with respect to its constraints.
 	idb := p.IDB()
+	if len(p.Goal) > 0 {
+		if p.Query == "" {
+			return fmt.Errorf("goal %s given without a query predicate", Atom{Pred: "?", Args: p.Goal})
+		}
+		ar, _ := p.PredArity() // already checked above
+		if n, ok := ar[p.Query]; ok && n != len(p.Goal) {
+			return fmt.Errorf("goal %s has arity %d but predicate %s has arity %d",
+				p.GoalAtom(), len(p.Goal), p.Query, n)
+		}
+	}
 	for _, r := range p.Rules {
 		if err := r.Safe(); err != nil {
 			return err

@@ -448,6 +448,17 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 		}
 	}
 	ev.stats.RoundDeltas = append(ev.stats.RoundDeltas, roundDelta)
+	// Footprint at the round barrier, mirroring the legacy engine's
+	// computation exactly (deltaTotal tolerates the nil delta of naive
+	// and init rounds).
+	peak := int64(0)
+	for _, ir := range ev.idb {
+		peak += int64(ir.n)
+	}
+	peak += int64(deltaTotal(ev.delta))
+	if peak > ev.stats.PeakMaterialized {
+		ev.stats.PeakMaterialized = peak
+	}
 	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
 		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ast"
+	"repro/internal/magic"
 )
 
 // ErrBudget is wrapped by the error returned when evaluation exceeds
@@ -64,6 +65,21 @@ type Stats struct {
 	// adaptive policy's misestimate rule (observed intermediate size
 	// >10x its estimate).
 	AdaptiveReorders int64
+	// MagicApplied reports whether the query was evaluated through the
+	// magic-sets demand rewrite (Query/QueryCtx with a bound goal and
+	// Options.Magic not off). Excluded from Equal like the other
+	// diagnostics: the magic-rewritten fixpoint legitimately differs
+	// from bottom-up in every counter — that difference is the point —
+	// while the answers stay identical.
+	MagicApplied bool
+	// PeakMaterialized is the largest total number of materialized IDB
+	// tuples (relations plus the semi-naive delta) observed at any
+	// round barrier. This is the memory-footprint metric the P8
+	// experiment tracks: demand pruning and streaming unfolding lower
+	// it while leaving answers unchanged. Deterministic for a fixed
+	// program, database, and options, but excluded from Equal because
+	// it is a footprint diagnostic, not evaluation semantics.
+	PeakMaterialized int64
 }
 
 // Equal reports whether two Stats are identical, including the
@@ -92,6 +108,37 @@ func (s *Stats) Equal(o *Stats) bool {
 		}
 	}
 	return true
+}
+
+// MagicMode controls whether Query/QueryCtx apply the magic-sets
+// demand rewrite before evaluation. The rewrite only ever changes how
+// answers are computed, never the answers: when it does not apply
+// (unbound goal, query predicate without rules, adornment blowup),
+// evaluation silently falls back to bottom-up.
+type MagicMode string
+
+const (
+	// MagicAuto (the zero value) applies the rewrite whenever the goal
+	// binds at least one argument.
+	MagicAuto MagicMode = "auto"
+	// MagicOn behaves like MagicAuto — the rewrite still falls back to
+	// bottom-up when inapplicable — but states the intent explicitly.
+	MagicOn MagicMode = "on"
+	// MagicOff disables the rewrite; goals are evaluated bottom-up and
+	// filtered afterwards.
+	MagicOff MagicMode = "off"
+)
+
+// ParseMagicMode parses a magic mode name; the empty string means
+// MagicAuto (the zero value of Options.Magic).
+func ParseMagicMode(s string) (MagicMode, error) {
+	switch m := MagicMode(s); m {
+	case "":
+		return MagicAuto, nil
+	case MagicAuto, MagicOn, MagicOff:
+		return m, nil
+	}
+	return "", fmt.Errorf("eval: unknown magic mode %q (want auto, on, or off)", s)
 }
 
 // JoinOrderPolicy selects how the compiled-plan engine orders the
@@ -162,6 +209,16 @@ type Options struct {
 	// backward compatible). PolicyCost and PolicyAdaptive require
 	// CompilePlans; EvalCtx rejects the combination otherwise.
 	Policy JoinOrderPolicy
+	// Magic controls the magic-sets demand rewrite in Query/QueryCtx
+	// (the empty string means MagicAuto). EvalCtx ignores it: its
+	// contract is the full IDB of the given program, which demand
+	// pruning deliberately does not compute.
+	Magic MagicMode
+	// Stream enables the streaming unfolding rewrite in Query/QueryCtx:
+	// non-recursive IDB predicates consumed by exactly one subgoal are
+	// inlined into their consumer, so their tuples are never
+	// materialized. Applied after the magic rewrite when both are on.
+	Stream bool
 }
 
 // DefaultOptions are the options used by Eval.
@@ -177,8 +234,9 @@ func (o Options) effectivePolicy() JoinOrderPolicy {
 	return o.Policy
 }
 
-// validatePolicy rejects unknown policy names and non-greedy policies
-// on the legacy engine (which has no plans to reorder).
+// validatePolicy rejects unknown policy names, unknown magic modes,
+// and non-greedy policies on the legacy engine (which has no plans to
+// reorder).
 func (o Options) validatePolicy() error {
 	pol, err := ParseJoinOrderPolicy(string(o.Policy))
 	if err != nil {
@@ -187,7 +245,18 @@ func (o Options) validatePolicy() error {
 	if pol != PolicyGreedy && !o.CompilePlans {
 		return fmt.Errorf("eval: join-order policy %q requires the compiled-plan engine (Options.CompilePlans)", pol)
 	}
+	if _, err := ParseMagicMode(string(o.Magic)); err != nil {
+		return err
+	}
 	return nil
+}
+
+// effectiveMagic resolves the empty string to MagicAuto.
+func (o Options) effectiveMagic() MagicMode {
+	if o.Magic == "" {
+		return MagicAuto
+	}
+	return o.Magic
 }
 
 // effectiveWorkers resolves Options.Workers to a concrete pool size.
@@ -499,6 +568,16 @@ func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
 		}
 	}
 	ev.stats.RoundDeltas = append(ev.stats.RoundDeltas, roundDelta)
+	// Footprint at the round barrier: every IDB tuple plus the
+	// semi-naive delta copy (nil during naive/init rounds). Computed
+	// identically in the compiled engine so the two agree bit-for-bit.
+	peak := int64(ev.idb.totalLen())
+	if ev.delta != nil {
+		peak += int64(ev.delta.totalLen())
+	}
+	if peak > ev.stats.PeakMaterialized {
+		ev.stats.PeakMaterialized = peak
+	}
 	if ev.opts.MaxTuples > 0 && ev.stats.TuplesDerived > ev.opts.MaxTuples {
 		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}
@@ -798,14 +877,59 @@ func QueryWith(p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
 
 // QueryCtx is QueryWith under a context; see EvalCtx for the
 // cancellation contract.
+//
+// When the program carries a goal (`?- pred(t1, ..., tn).`), QueryCtx
+// is goal-directed: under Options.Magic auto/on a goal with at least
+// one bound argument is evaluated through the magic-sets rewrite
+// (internal/magic), which computes only the part of the fixpoint the
+// goal's bindings demand; when the rewrite is inapplicable — or under
+// MagicOff — the program is evaluated bottom-up. Either way the
+// returned tuples are exactly the query-relation tuples matching the
+// goal (constants equal at their positions, repeated goal variables
+// equal across theirs), so the two paths are interchangeable
+// answer-wise; Stats.MagicApplied records which one ran.
 func QueryCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
-	idb, stats, err := EvalCtx(ctx, p, edb, opts)
+	if err := opts.validatePolicy(); err != nil {
+		return nil, nil, err
+	}
+	prog := p
+	magicApplied := false
+	if opts.effectiveMagic() != MagicOff && len(p.Goal) > 0 {
+		res, err := magic.Rewrite(p)
+		switch {
+		case err == nil:
+			prog = res.Program
+			magicApplied = true
+		case errors.Is(err, magic.ErrNotApplicable):
+			// Fall back to bottom-up evaluation of the original program.
+		default:
+			return nil, nil, err
+		}
+	}
+	if opts.Stream {
+		prog, _ = magic.Unfold(prog)
+	}
+	idb, stats, err := EvalCtx(ctx, prog, edb, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	r := idb.Lookup(p.Query)
+	stats.MagicApplied = magicApplied
+	r := idb.Lookup(prog.Query)
 	if r == nil {
 		return nil, stats, nil
 	}
-	return r.Tuples(), stats, nil
+	tuples := r.Tuples()
+	if len(p.Goal) == 0 {
+		return tuples, stats, nil
+	}
+	// Restrict to the goal on both paths: bottom-up computes the whole
+	// relation, and the magic-rewritten relation can hold tuples for
+	// bindings demanded recursively beyond the goal's own constants.
+	var out []Tuple
+	for _, t := range tuples {
+		if p.MatchesGoal(t) {
+			out = append(out, t)
+		}
+	}
+	return out, stats, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/contain"
 	"repro/internal/emptiness"
+	"repro/internal/magic"
 )
 
 // hygiene is L5: structural checks that gate the semantic ones. It
@@ -373,6 +374,39 @@ func (l *linter) subsumedRules() {
 			}
 		}
 	}
+}
+
+// goalDirected is L6: goal-directed evaluation advisories. A goal that
+// binds arguments — a point query like '?- path(a, Y).' — asks for a
+// fraction of the query relation, yet bottom-up evaluation materializes
+// all of it and filters afterwards. When the magic-sets rewrite applies
+// and the caller has not declared it enabled, the check warns, citing
+// the adornment that would drive the demand propagation. When the goal
+// binds arguments but the rewrite is structurally inapplicable, the
+// check warns regardless of configuration: even with magic enabled the
+// engine falls back to full bottom-up evaluation.
+func (l *linter) goalDirected() {
+	if len(l.p.Goal) == 0 {
+		return
+	}
+	pat := magic.GoalPattern(l.p.Goal)
+	if !pat.HasBound() {
+		return
+	}
+	goal := l.p.GoalAtom()
+	adorned := magic.AdornedName(l.p.Query, pat)
+	if _, err := magic.Rewrite(l.p); err != nil {
+		l.add(Finding{Check: "L6", ID: "bound-query-no-magic", Severity: Warning,
+			Message: fmt.Sprintf("query %s binds %d of %d argument(s) (adornment %s) but the magic-sets rewrite does not apply (%v); the full %s relation is materialized and the goal filtered after the fact",
+				goal, len(pat.Bound()), len(pat), adorned, err, l.p.Query)})
+		return
+	}
+	if l.opts.MagicEnabled {
+		return
+	}
+	l.add(Finding{Check: "L6", ID: "bound-query-no-magic", Severity: Warning,
+		Message: fmt.Sprintf("query %s binds %d of %d argument(s) (adornment %s) but is evaluated without the magic-sets rewrite; bottom-up evaluation materializes the full %s relation to answer a point query — enable goal-directed evaluation (sqoc -magic auto, sqod's \"magic\" knob, or eval Options.Magic)",
+			goal, len(pat.Bound()), len(pat), adorned, l.p.Query)})
 }
 
 // singletonVars returns, in first-occurrence order, the variables that

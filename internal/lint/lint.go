@@ -17,6 +17,10 @@
 //     (Theorems 5.3 and 5.4).
 //   - L5 hygiene: arity mismatches, unsafe rules, IDB predicates in
 //     constraint bodies, singleton variables, unused EDB predicates.
+//   - L6 goal-directed: a query goal that binds arguments (a point
+//     query like '?- path(a, Y).') evaluated without the magic-sets
+//     rewrite materializes the whole relation; the check cites the
+//     goal's adornment.
 //
 // Every semantic verdict the linter relies on is three-valued; budget
 // exhaustion surfaces as an explicit Info finding, never as a false
@@ -124,6 +128,12 @@ type Options struct {
 	// MaxSubsumptionRules bounds the number of rules per head
 	// predicate compared pairwise by L3 (default 16).
 	MaxSubsumptionRules int
+	// MagicEnabled declares that the caller evaluates goal queries
+	// with the magic-sets rewrite enabled (eval Magic mode "auto" or
+	// "on"); it suppresses the L6 bound-query advisory. Standalone
+	// lint runs leave it false — a source file alone says nothing
+	// about how it will be evaluated.
+	MagicEnabled bool
 }
 
 func (o *Options) defaults() {
@@ -163,6 +173,7 @@ func Run(ctx context.Context, p *ast.Program, ics []ast.IC, facts []ast.Atom, op
 		l.timed("L1", func() { l.unsatRules() })
 		l.timed("L2", func() { l.emptyAndDead() })
 		l.timed("L3", func() { l.subsumedRules() })
+		l.timed("L6", func() { l.goalDirected() })
 	}
 	if ctx.Err() != nil {
 		l.add(Finding{Check: "lint", ID: "aborted", Severity: Info,

@@ -3,6 +3,7 @@ package lint
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/parser"
@@ -245,5 +246,81 @@ p(X) :- a(X, Y), b(Y, X).
 	}
 	if findingIDs(rep)["aborted"] != 1 {
 		t.Errorf("want aborted note, got %v", rep.Findings)
+	}
+}
+
+func TestGoalDirectedAdvisory(t *testing.T) {
+	const tc = `
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+?- path(1, Y).
+`
+	p, err := parser.ParseProgram(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := Run(context.Background(), p, nil, nil, Options{})
+	ids := findingIDs(rep)
+	if ids["bound-query-no-magic"] != 1 {
+		t.Fatalf("want one bound-query-no-magic finding, got %v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.ID != "bound-query-no-magic" {
+			continue
+		}
+		if f.Severity != Warning {
+			t.Errorf("severity = %v, want warning", f.Severity)
+		}
+		for _, want := range []string{"path#bf", "binds 1 of 2"} {
+			if !strings.Contains(f.Message, want) {
+				t.Errorf("message %q missing %q", f.Message, want)
+			}
+		}
+	}
+
+	// A caller that evaluates with magic enabled suppresses the advisory.
+	rep = Run(context.Background(), p, nil, nil, Options{MagicEnabled: true})
+	if ids := findingIDs(rep); ids["bound-query-no-magic"] != 0 {
+		t.Fatalf("MagicEnabled did not suppress the advisory: %v", rep.Findings)
+	}
+
+	// Unbound goals and goal-less queries are not point queries.
+	for _, goal := range []string{"?- path(X, Y).", "?- path."} {
+		p, err := parser.ParseProgram(`
+path(X, Y) :- edge(X, Y).
+` + goal + `
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Run(context.Background(), p, nil, nil, Options{})
+		if ids := findingIDs(rep); ids["bound-query-no-magic"] != 0 {
+			t.Fatalf("goal %q should not warn: %v", goal, rep.Findings)
+		}
+	}
+
+	// Bound goal where the rewrite is structurally inapplicable (the
+	// query predicate has no rules): the warning fires even with magic
+	// enabled, since the engine falls back to bottom-up evaluation.
+	p, err = parser.ParseProgram(`
+p(X, Y) :- e(X, Y).
+?- q(1).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = Run(context.Background(), p, nil, nil, Options{MagicEnabled: true})
+	found := false
+	for _, f := range rep.Findings {
+		if f.ID == "bound-query-no-magic" {
+			found = true
+			if !strings.Contains(f.Message, "does not apply") {
+				t.Errorf("inapplicable-rewrite message %q should say why", f.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("inapplicable rewrite on a bound goal should warn: %v", rep.Findings)
 	}
 }

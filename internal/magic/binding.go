@@ -1,0 +1,72 @@
+package magic
+
+// Binding-pattern adornments for goal-directed evaluation: the
+// classical bound/free adornments of the magic-sets literature,
+// computed from a query goal and propagated left to right through rule
+// bodies (the sideways information passing the rewrite uses). They
+// live here rather than in internal/adorn — which adorns predicates
+// with the paper's constraint triplets and depends on
+// internal/rewrite — so the eval → magic dependency stays acyclic.
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// BindingPattern is a bound/free adornment: one byte per argument
+// position, 'b' where the argument is bound (a constant, or a variable
+// already bound by the time the atom is reached) and 'f' where it is
+// free. The empty pattern adorns a zero-ary predicate.
+type BindingPattern string
+
+// GoalPattern returns the binding pattern of a query goal: 'b' at
+// constant positions, 'f' at variable positions.
+func GoalPattern(goal []ast.Term) BindingPattern {
+	return PatternFor(goal, nil)
+}
+
+// PatternFor returns the binding pattern of an atom's argument list
+// given the set of variables bound so far: constants and bound
+// variables adorn 'b', everything else 'f'.
+func PatternFor(args []ast.Term, bound map[string]bool) BindingPattern {
+	var b strings.Builder
+	b.Grow(len(args))
+	for _, t := range args {
+		if t.IsConst() || (t.IsVar() && bound[t.Name]) {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return BindingPattern(b.String())
+}
+
+// HasBound reports whether the pattern binds at least one position —
+// the applicability condition for demand-driven evaluation.
+func (bp BindingPattern) HasBound() bool {
+	return strings.IndexByte(string(bp), 'b') >= 0
+}
+
+// Bound returns the indices of the bound positions, in order.
+func (bp BindingPattern) Bound() []int {
+	var out []int
+	for i := 0; i < len(bp); i++ {
+		if bp[i] == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Project returns the terms at the pattern's bound positions, in
+// order — the arguments a magic predicate for this pattern carries.
+func (bp BindingPattern) Project(args []ast.Term) []ast.Term {
+	out := make([]ast.Term, 0, len(args))
+	for i := 0; i < len(bp) && i < len(args); i++ {
+		if bp[i] == 'b' {
+			out = append(out, args[i])
+		}
+	}
+	return out
+}

@@ -55,6 +55,14 @@ var fuzzSeeds = []string{
 	`r(X, Y) :- e(X, Y), X < Y, X <= Y, X > 0, X >= 0, X != Y, X = X.`,
 	// zero-arity atoms and empty-ish forms
 	`q :- a, b. ?- q.`,
+	// goal queries with bound arguments (point and mixed queries)
+	`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		?- path(a, Y).
+	`,
+	`r(X, Y, Z) :- e(X, Y), f(Y, Z). ?- r(1, W, "end").`,
+	`p(X, X) :- e(X, X). ?- p(V, V).`,
 	// malformed inputs that must produce errors, never panics
 	`p(X :-`,
 	`p(X, Y) :- `,
@@ -98,7 +106,7 @@ func renderUnit(u *Unit) string {
 	var b strings.Builder
 	b.WriteString(u.Program.String())
 	if u.Program.Query != "" {
-		b.WriteString("?- " + u.Program.Query + ".\n")
+		b.WriteString("?- " + u.Program.GoalAtom().String() + ".\n")
 	}
 	for _, ic := range u.ICs {
 		b.WriteString(ic.String() + "\n")
@@ -112,7 +120,7 @@ func renderUnit(u *Unit) string {
 // TestFuzzSeedsParse keeps the well-formed seeds parsing in plain test
 // runs (no -fuzz flag needed).
 func TestFuzzSeedsParse(t *testing.T) {
-	for i, seed := range fuzzSeeds[:8] {
+	for i, seed := range fuzzSeeds[:11] {
 		if _, err := Parse(seed); err != nil {
 			t.Errorf("seed %d no longer parses: %v", i, err)
 		}

@@ -38,9 +38,22 @@ func Parse(src string) (*Unit, error) {
 			if p.tok.kind != tokIdent {
 				return nil, p.expected("query predicate name")
 			}
-			unit.Program.Query = p.tok.text
+			name := p.tok.text
+			at := ast.At(p.tok.line, p.tok.col)
 			if err := p.bump(); err != nil {
 				return nil, err
+			}
+			unit.Program.Query = name
+			unit.Program.Goal = nil
+			if p.tok.kind == tokLParen {
+				// `?- pred(t1, ..., tn).` — a goal with argument terms;
+				// constants are selections the evaluator (and the
+				// magic-sets rewrite) exploits.
+				goal, err := p.parseAtomArgs(name, at)
+				if err != nil {
+					return nil, err
+				}
+				unit.Program.Goal = goal.Args
 			}
 			if err := p.expect(tokDot); err != nil {
 				return nil, err

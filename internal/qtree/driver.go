@@ -154,5 +154,11 @@ func OptimizeCtx(ctx context.Context, p *ast.Program, ics []ast.IC, opts Options
 			out.Program = pushed
 		}
 	}
+	// The optimizer rewrites rules only; the goal's argument terms pass
+	// through untouched so goal-directed evaluation (eval.QueryCtx, the
+	// magic-sets rewrite) still sees the query's bindings.
+	if len(p.Goal) > 0 {
+		out.Program.Goal = append([]ast.Term(nil), p.Goal...)
+	}
 	return out, nil
 }

@@ -17,10 +17,14 @@ import (
 // constraint, and the optimizer pass selection. Requests that differ
 // only in whitespace, comments, or atom spelling of the *source text*
 // therefore share a key, while any semantic difference — one rule, one
-// constraint, one pass toggle — produces a distinct one.
+// constraint, one pass toggle — produces a distinct one. The goal
+// terms are part of the key (via GoalAtom): cached optimized programs
+// carry the goal that drives the magic-sets rewrite downstream, so
+// `?- path(a, Y).` and `?- path(X, b).` — same program, different
+// adornment — must not share an entry.
 func CacheKey(p *sqo.Program, ics []sqo.IC, opts sqo.Options) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "program\x00%s\x00query\x00%s\x00", p.String(), p.Query)
+	fmt.Fprintf(h, "program\x00%s\x00query\x00%s\x00", p.String(), p.GoalAtom().Key())
 	fmt.Fprintf(h, "ics\x00%d\x00", len(ics))
 	for _, ic := range ics {
 		fmt.Fprintf(h, "%s\x00", ic.String())

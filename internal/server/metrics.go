@@ -40,6 +40,10 @@ type Metrics struct {
 	EvalPolicyCost     atomic.Int64
 	EvalPolicyAdaptive atomic.Int64
 
+	// EvalMagic counts completed query evaluations that went through
+	// the magic-sets demand rewrite (goal-directed point queries).
+	EvalMagic atomic.Int64
+
 	// Request outcomes.
 	QueryTimeouts atomic.Int64
 	QueryCancels  atomic.Int64
@@ -170,6 +174,8 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"greedy\"} %d\n", m.EvalPolicyGreedy.Load())
 	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"cost\"} %d\n", m.EvalPolicyCost.Load())
 	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"adaptive\"} %d\n", m.EvalPolicyAdaptive.Load())
+
+	counter("sqod_eval_magic_total", "Queries evaluated via the magic-sets demand rewrite.", m.EvalMagic.Load())
 
 	counter("sqod_query_timeouts_total", "Queries stopped by deadline expiry.", m.QueryTimeouts.Load())
 	counter("sqod_query_cancels_total", "Queries stopped by client cancellation.", m.QueryCancels.Load())

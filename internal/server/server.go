@@ -493,6 +493,11 @@ type queryRequest struct {
 	// query: "greedy", "cost", or "adaptive" (empty → server default).
 	// Answers are identical under every policy; only join work differs.
 	JoinOrder string `json:"join_order,omitempty"`
+	// Magic controls the magic-sets demand rewrite for goal queries
+	// (`?- pred(a, Y).`): "auto" (the default — rewrite when the goal
+	// binds an argument), "on", or "off". Answers are identical in
+	// every mode; only the portion of the fixpoint computed differs.
+	Magic string `json:"magic,omitempty"`
 }
 
 type queryStats struct {
@@ -503,14 +508,18 @@ type queryStats struct {
 }
 
 type queryResponse struct {
-	Query       string     `json:"query"`
-	Answers     []string   `json:"answers"`
-	AnswerCount int        `json:"answer_count"`
-	Satisfiable bool       `json:"satisfiable"`
-	Optimized   bool       `json:"optimized"`
-	CacheHit    bool       `json:"cache_hit"`
-	JoinOrder   string     `json:"join_order"`
-	Stats       queryStats `json:"stats"`
+	Query       string   `json:"query"`
+	Answers     []string `json:"answers"`
+	AnswerCount int      `json:"answer_count"`
+	Satisfiable bool     `json:"satisfiable"`
+	Optimized   bool     `json:"optimized"`
+	CacheHit    bool     `json:"cache_hit"`
+	JoinOrder   string   `json:"join_order"`
+	// Magic reports whether this evaluation went through the
+	// magic-sets demand rewrite (false for unbound or absent goals,
+	// magic "off", or rewrite fallback).
+	Magic bool       `json:"magic"`
+	Stats queryStats `json:"stats"`
 	// RoundDeltas is present only when the request set
 	// include_round_deltas: element i maps relation → tuples newly
 	// derived in fixpoint round i (relations with no new tuples are
@@ -538,6 +547,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		policy = p
+	}
+	magicMode, err := sqo.ParseMagicMode(req.Magic)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
 	}
 
 	// Resolve the database before admission: cheap, and 404s should
@@ -621,6 +635,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	evalOpts.Workers = s.cfg.Workers
 	evalOpts.MaxTuples = s.cfg.MaxTuples
 	evalOpts.Policy = policy
+	evalOpts.Magic = magicMode
 	if req.Workers > 0 {
 		evalOpts.Workers = req.Workers
 	}
@@ -646,6 +661,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.AddStats(stats.Iterations, stats.TuplesDerived, stats.RuleFirings, stats.JoinProbes)
 	s.metrics.AddPolicy(policy)
+	if stats.MagicApplied {
+		s.metrics.EvalMagic.Add(1)
+	}
 
 	answers := make([]string, len(tuples))
 	for i, t := range tuples {
@@ -660,6 +678,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Optimized:   doOptimize,
 		CacheHit:    cacheHit,
 		JoinOrder:   string(policy),
+		Magic:       stats.MagicApplied,
 		Stats: queryStats{
 			Rounds:        stats.Iterations,
 			TuplesDerived: stats.TuplesDerived,

@@ -75,6 +75,26 @@ curl -fsS "$BASE/v1/datasets/quickstart/views/paths" >"$WORK/v3.json" || fail "v
 jq -e '.answer_count == 8' "$WORK/v3.json" >/dev/null || fail "view not restored: $(cat "$WORK/v3.json")"
 [ "$(jq -cS .answers "$WORK/v1.json")" = "$(jq -cS .answers "$WORK/v3.json")" ] || fail "view answers differ after add+retract round trip"
 
+echo "serve-smoke: goal-directed point query (magic-sets rewrite)"
+POINT='{
+  "program": "path(X, Y) :- step(X, Y). path(X, Y) :- step(X, Z), path(Z, Y). ?- path(1, Y).",
+  "dataset": "quickstart"
+}'
+curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$POINT" >"$WORK/m1.json" || fail "magic point query failed"
+jq -e '.magic == true and .answer_count == 4' "$WORK/m1.json" >/dev/null \
+	|| fail "point query did not evaluate via magic: $(cat "$WORK/m1.json")"
+
+echo "serve-smoke: same point query with magic off — answers must match"
+POINT_OFF='{
+  "program": "path(X, Y) :- step(X, Y). path(X, Y) :- step(X, Z), path(Z, Y). ?- path(1, Y).",
+  "dataset": "quickstart",
+  "magic": "off"
+}'
+curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$POINT_OFF" >"$WORK/m2.json" || fail "magic=off query failed"
+jq -e '.magic == false' "$WORK/m2.json" >/dev/null || fail "magic=off still reports magic: $(cat "$WORK/m2.json")"
+[ "$(jq -cS '.answers | sort' "$WORK/m1.json")" = "$(jq -cS '.answers | sort' "$WORK/m2.json")" ] \
+	|| fail "magic changed the point-query answers"
+
 echo "serve-smoke: linting a program with a known-dead rule"
 LINT='{
   "program": "p(X) :- a(X, Y), b(Y, X). q(X) :- p(X). r(X) :- c(X, X). r(X) :- p(X), c(X, X). ?- r.",
@@ -94,6 +114,7 @@ grep -Eq '^sqod_cache_misses_total [1-9]' "$WORK/metrics.txt" || fail "sqod_cach
 grep -q '^sqod_requests_total' "$WORK/metrics.txt" || fail "sqod_requests_total missing"
 grep -Eq '^sqod_lint_runs_total [1-9]' "$WORK/metrics.txt" || fail "sqod_lint_runs_total not positive"
 grep -Eq '^sqod_lint_findings_total [1-9]' "$WORK/metrics.txt" || fail "sqod_lint_findings_total not positive"
+grep -Eq '^sqod_eval_magic_total [1-9]' "$WORK/metrics.txt" || fail "sqod_eval_magic_total not positive"
 
 echo "serve-smoke: SIGTERM — expecting a clean drain"
 kill -TERM "$SQOD_PID"

@@ -189,6 +189,29 @@ func ParseJoinOrderPolicy(s string) (JoinOrderPolicy, error) {
 	return eval.ParseJoinOrderPolicy(s)
 }
 
+// MagicMode controls the magic-sets demand rewrite applied by
+// Query/QueryWith/QueryCtx when the program's query carries a goal
+// with bound arguments (written `?- pred(a, Y).`): MagicAuto (the
+// default) and MagicOn rewrite such queries for goal-directed
+// evaluation, falling back to bottom-up when the rewrite is
+// inapplicable; MagicOff always evaluates bottom-up. Answers are
+// identical in every mode.
+type MagicMode = eval.MagicMode
+
+// Magic modes accepted by EvalOptions.Magic.
+const (
+	MagicAuto = eval.MagicAuto
+	MagicOn   = eval.MagicOn
+	MagicOff  = eval.MagicOff
+)
+
+// ParseMagicMode parses a magic mode name ("auto", "on", "off"; the
+// empty string means auto), for wiring flags and config knobs to
+// EvalOptions.Magic.
+func ParseMagicMode(s string) (MagicMode, error) {
+	return eval.ParseMagicMode(s)
+}
+
 // DefaultEvalOptions returns the engine defaults used by Eval:
 // semi-naive, hash-indexed, compiled join plans with the greedy
 // join-order policy, one worker per CPU. Start from it when overriding
@@ -293,11 +316,11 @@ func Explain(res *Result) string {
 }
 
 // FormatProgram renders a program in source syntax including the
-// query declaration.
+// query declaration (with its goal arguments, when present).
 func FormatProgram(p *Program) string {
 	s := p.String()
 	if p.Query != "" {
-		s += fmt.Sprintf("?- %s.\n", p.Query)
+		s += fmt.Sprintf("?- %s.\n", p.GoalAtom())
 	}
 	return s
 }
