@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-compare bench-regression fuzz-smoke incr-smoke lint-smoke serve serve-smoke ci
+.PHONY: build vet fmt test race bench bench-compare bench-regression fuzz-smoke incr-smoke lint-smoke serve serve-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
@@ -59,11 +59,13 @@ bench-regression:
 	$(GO) run ./cmd/sqobench -run P6 -out bench-out/bench6.json
 	$(GO) run ./cmd/sqobench -run P7 -out bench-out/bench7.json
 	$(GO) run ./cmd/sqobench -run P8 -out bench-out/bench8.json
+	$(GO) run ./cmd/sqobench -run P9 -out bench-out/bench9.json
 	$(GO) run ./cmd/benchdiff -label P3 -baseline BENCH_3.json -current bench-out/bench3.json
 	$(GO) run ./cmd/benchdiff -label P4 -baseline BENCH_4.json -current bench-out/bench4.json
 	$(GO) run ./cmd/benchdiff -label P6 -baseline BENCH_6.json -current bench-out/bench6.json
 	$(GO) run ./cmd/benchdiff -label P7 -baseline BENCH_7.json -current bench-out/bench7.json
 	$(GO) run ./cmd/benchdiff -label P8 -peak-mem -baseline BENCH_8.json -current bench-out/bench8.json
+	$(GO) run ./cmd/benchdiff -label P9 -baseline BENCH_9.json -current bench-out/bench9.json
 
 # A short native-fuzzing pass over the parser. Long enough to exercise
 # the mutator, short enough for CI; sustained campaigns should raise
@@ -103,5 +105,11 @@ serve:
 # a clean drain. The same script backs the CI smoke job.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Boot a coordinator fronting two worker sqods, place datasets, run a
+# scattered query, SIGKILL one worker mid-run, and assert the explicit
+# degraded/failed_peers contract. The same script backs the CI job.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 ci: build vet fmt test

@@ -26,13 +26,17 @@
 //
 // Exit status: 0 when no row regressed, 1 on regression, 2 on usage or
 // parse errors. Rows present on only one side are reported but never
-// fail the run (experiments gain and lose cases across PRs).
+// fail the run (experiments gain and lose cases across PRs), and the
+// same goes for metrics present on only one side of a matched row — a
+// freshly added column (or one retired from the baseline) is
+// informational, not a regression.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -79,8 +83,22 @@ func main() {
 	if *label != "" {
 		fmt.Printf("### %s: %s vs %s\n\n", *label, *baselinePath, *currentPath)
 	}
-	fmt.Println("| row | metric | baseline | current | delta | verdict |")
-	fmt.Println("|---|---|---:|---:|---:|---|")
+	if diff(os.Stdout, base, cur) {
+		fmt.Println("\n**regression detected** (see verdicts above)")
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}
+
+// diff prints the per-row markdown delta table and reports whether any
+// metric regressed. Metrics are compared over the union of both rows'
+// numeric fields: a metric only in the current run ("new metric") or
+// only in the baseline ("missing from current") is reported
+// informationally instead of being silently skipped or misjudged
+// against an implicit zero.
+func diff(w io.Writer, base, cur *report) bool {
+	fmt.Fprintln(w, "| row | metric | baseline | current | delta | verdict |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
 
 	regressed := false
 	seen := map[string]bool{}
@@ -89,11 +107,22 @@ func main() {
 		seen[k] = true
 		crow, ok := findRow(cur.Rows, k)
 		if !ok {
-			fmt.Printf("| %s | — | — | — | — | missing from current (info) |\n", k)
+			fmt.Fprintf(w, "| %s | — | — | — | — | missing from current (info) |\n", k)
 			continue
 		}
-		for _, metric := range numericFields(brow) {
-			bv, cv := asFloat(brow[metric]), asFloat(crow[metric])
+		for _, metric := range unionNumericFields(brow, crow) {
+			bv, bok := numField(brow, metric)
+			cv, cok := numField(crow, metric)
+			switch {
+			case !bok:
+				fmt.Fprintf(w, "| %s | %s | — | %s | — | new metric (info) |\n",
+					k, metric, formatVal(metric, cv))
+				continue
+			case !cok:
+				fmt.Fprintf(w, "| %s | %s | %s | — | — | missing from current (info) |\n",
+					k, metric, formatVal(metric, bv))
+				continue
+			}
 			verdict, bad := judge(metric, bv, cv)
 			if bad {
 				regressed = true
@@ -101,21 +130,16 @@ func main() {
 			if verdict == "" {
 				continue // unchanged and uninteresting
 			}
-			fmt.Printf("| %s | %s | %s | %s | %+.1f%% | %s |\n",
+			fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%% | %s |\n",
 				k, metric, formatVal(metric, bv), formatVal(metric, cv), pct(bv, cv), verdict)
 		}
 	}
 	for _, crow := range cur.Rows {
 		if k := rowKey(crow); !seen[k] {
-			fmt.Printf("| %s | — | — | — | — | new row (info) |\n", k)
+			fmt.Fprintf(w, "| %s | — | — | — | — | new row (info) |\n", k)
 		}
 	}
-
-	if regressed {
-		fmt.Println("\n**regression detected** (see verdicts above)")
-		os.Exit(1)
-	}
-	fmt.Println("\nno regressions")
+	return regressed
 }
 
 func load(path string) (*report, error) {
@@ -160,20 +184,29 @@ func findRow(rows []map[string]any, key string) (map[string]any, bool) {
 	return nil, false
 }
 
-func numericFields(row map[string]any) []string {
-	var out []string
-	for k, v := range row {
-		if _, ok := v.(float64); ok {
-			out = append(out, k)
+// unionNumericFields returns the sorted union of both rows' numeric
+// field names, so a column present on only one side still gets a line
+// in the table.
+func unionNumericFields(a, b map[string]any) []string {
+	set := map[string]bool{}
+	for _, row := range []map[string]any{a, b} {
+		for k, v := range row {
+			if _, ok := v.(float64); ok {
+				set[k] = true
+			}
 		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
 }
 
-func asFloat(v any) float64 {
-	f, _ := v.(float64)
-	return f
+func numField(row map[string]any, k string) (float64, bool) {
+	f, ok := row[k].(float64)
+	return f, ok
 }
 
 func isTiming(metric string) bool {

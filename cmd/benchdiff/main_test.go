@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func row(kv ...any) map[string]any {
+	m := map[string]any{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i].(string)] = kv[i+1]
+	}
+	return m
+}
+
+func runDiff(t *testing.T, base, cur []map[string]any) (string, bool) {
+	t.Helper()
+	var b strings.Builder
+	regressed := diff(&b, &report{Rows: base}, &report{Rows: cur})
+	return b.String(), regressed
+}
+
+func TestDiffDeterministicRegression(t *testing.T) {
+	out, regressed := runDiff(t,
+		[]map[string]any{row("workload", "chain", "probes", 100.0)},
+		[]map[string]any{row("workload", "chain", "probes", 120.0)},
+	)
+	if !regressed || !strings.Contains(out, "**more work**") {
+		t.Fatalf("probe growth must regress:\n%s", out)
+	}
+	out, regressed = runDiff(t,
+		[]map[string]any{row("workload", "chain", "probes", 100.0)},
+		[]map[string]any{row("workload", "chain", "probes", 90.0)},
+	)
+	if regressed || !strings.Contains(out, "less work") {
+		t.Fatalf("probe shrink must not regress:\n%s", out)
+	}
+}
+
+func TestDiffTimingTolerance(t *testing.T) {
+	// Under 2x: fine even though it grew.
+	_, regressed := runDiff(t,
+		[]map[string]any{row("workload", "w", "wall_ns", 1_000_000.0)},
+		[]map[string]any{row("workload", "w", "wall_ns", 1_900_000.0)},
+	)
+	if regressed {
+		t.Fatal("sub-2x timing growth must not regress")
+	}
+	// Over 2x and over the absolute floor: regression.
+	out, regressed := runDiff(t,
+		[]map[string]any{row("workload", "w", "wall_ns", 1_000_000.0)},
+		[]map[string]any{row("workload", "w", "wall_ns", 3_000_000.0)},
+	)
+	if !regressed || !strings.Contains(out, "slower") {
+		t.Fatalf("3x timing growth must regress:\n%s", out)
+	}
+	// Over 2x but under the noise floor: micro-benchmark jitter.
+	_, regressed = runDiff(t,
+		[]map[string]any{row("workload", "w", "wall_ns", 10_000.0)},
+		[]map[string]any{row("workload", "w", "wall_ns", 40_000.0)},
+	)
+	if regressed {
+		t.Fatal("sub-floor timing growth must not regress")
+	}
+}
+
+// TestDiffMetricOnlyInCurrent pins the fix for the silent-skip bug:
+// a metric present in the current run but absent from the baseline
+// used to be ignored entirely; now it is reported informationally and
+// never fails the run.
+func TestDiffMetricOnlyInCurrent(t *testing.T) {
+	out, regressed := runDiff(t,
+		[]map[string]any{row("workload", "w", "probes", 100.0)},
+		[]map[string]any{row("workload", "w", "probes", 100.0, "exchanged", 42.0)},
+	)
+	if regressed {
+		t.Fatalf("new metric must not regress:\n%s", out)
+	}
+	if !strings.Contains(out, "exchanged") || !strings.Contains(out, "new metric (info)") {
+		t.Fatalf("new metric must be reported:\n%s", out)
+	}
+}
+
+// TestDiffMetricMissingFromCurrent: a metric dropped from the current
+// run must be flagged as missing, not judged against an implicit 0
+// (which read as "less work" before the fix).
+func TestDiffMetricMissingFromCurrent(t *testing.T) {
+	out, regressed := runDiff(t,
+		[]map[string]any{row("workload", "w", "probes", 100.0, "derived", 50.0)},
+		[]map[string]any{row("workload", "w", "probes", 100.0)},
+	)
+	if regressed {
+		t.Fatalf("missing metric must not regress:\n%s", out)
+	}
+	if !strings.Contains(out, "| derived | 50 | — | — | missing from current (info) |") {
+		t.Fatalf("missing metric must be reported with its baseline value:\n%s", out)
+	}
+	if strings.Contains(out, "less work") {
+		t.Fatalf("missing metric must not be misjudged as improvement:\n%s", out)
+	}
+}
+
+func TestDiffRowsOnlyOnOneSide(t *testing.T) {
+	out, regressed := runDiff(t,
+		[]map[string]any{row("workload", "old", "probes", 1.0)},
+		[]map[string]any{row("workload", "new", "probes", 1.0)},
+	)
+	if regressed {
+		t.Fatalf("row churn must not regress:\n%s", out)
+	}
+	if !strings.Contains(out, "missing from current (info)") || !strings.Contains(out, "new row (info)") {
+		t.Fatalf("row churn must be reported:\n%s", out)
+	}
+}
+
+func TestDiffPeakTuplesGate(t *testing.T) {
+	base := []map[string]any{row("workload", "w", "peak_tuples", 100.0)}
+	cur := []map[string]any{row("workload", "w", "peak_tuples", 200.0)}
+	gatePeakMem = false
+	out, regressed := runDiff(t, base, cur)
+	if regressed || !strings.Contains(out, "gate with -peak-mem") {
+		t.Fatalf("ungated peak growth must be informational:\n%s", out)
+	}
+	gatePeakMem = true
+	defer func() { gatePeakMem = false }()
+	if _, regressed := runDiff(t, base, cur); !regressed {
+		t.Fatal("gated peak growth must regress")
+	}
+}

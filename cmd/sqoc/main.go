@@ -55,6 +55,8 @@ func main() {
 	magicFlag := flag.String("magic", "", "magic-sets rewrite for goal queries like '?- path(a, Y).': auto (default), on, or off")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on optimization + evaluation (0 = none)")
 	budget := flag.Int64("budget", 0, "derived-tuple budget per evaluation (0 = unlimited)")
+	shards := flag.Int("shards", 0, "hash-partition evaluation across this many shards (0/1 = off); answers are identical at any count")
+	shardPart := flag.String("shard-partitioner", "", "shard hash: modulo (default) or rendezvous")
 	flag.Parse()
 
 	policy, err := sqo.ParseJoinOrderPolicy(*order)
@@ -143,6 +145,8 @@ func main() {
 		opts.MaxTuples = *budget
 		opts.Policy = policy
 		opts.Magic = magicMode
+		opts.Shards = *shards
+		opts.ShardPartitioner = *shardPart
 		origTuples, origStats, err := sqo.QueryCtx(ctx, unit.Program, db, opts)
 		if err != nil {
 			fatal(err, *timeout, *budget)

@@ -53,6 +53,23 @@
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, drains
 // in-flight requests (up to -drain), and exits 0.
+//
+// # Cluster mode
+//
+// With -coordinator and -peers, sqod serves no data itself and instead
+// fronts a fleet of worker sqods: datasets are placed on workers by
+// rendezvous hashing over the dataset name, single-dataset operations
+// are proxied to the owner, and queries with "datasets": [...] are
+// scattered to each dataset's owner and gathered into one response
+// with an explicit degraded/failed_peers contract when workers are
+// unreachable (bounded, jittered retries first). Worker health is
+// probed via /readyz, which workers fail until WAL recovery completes
+// (-async-restore recovers in the background so /healthz answers
+// immediately).
+//
+//	sqod -coordinator -peers=http://w1:8351,http://w2:8351 \
+//	     [-peer-timeout 10s] [-peer-retries 2] [-peer-backoff 50ms]
+//	     [-probe-interval 2s] [-addr :8350]
 package main
 
 import (
@@ -64,10 +81,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -88,6 +107,13 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	enablePprof := flag.Bool("pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
+	asyncRestore := flag.Bool("async-restore", false, "recover durable state in the background; /readyz reports 503 until done")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator over -peers instead of serving data")
+	peersFlag := flag.String("peers", "", "comma-separated worker base URLs (coordinator mode)")
+	peerTimeout := flag.Duration("peer-timeout", 10*time.Second, "per-attempt deadline for upstream worker requests")
+	peerRetries := flag.Int("peer-retries", 2, "retries after a retryable upstream failure (transport error, 429/502/503/504)")
+	peerBackoff := flag.Duration("peer-backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "worker /readyz probe period")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -98,6 +124,32 @@ func main() {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	if *coordinator {
+		if *dataDir != "" {
+			logger.Error("-coordinator serves no data; -data-dir belongs on workers")
+			os.Exit(2)
+		}
+		coord, err := shard.NewCoordinator(shard.Config{
+			Peers:         strings.Split(*peersFlag, ","),
+			PeerTimeout:   *peerTimeout,
+			Retries:       *peerRetries,
+			RetryBackoff:  *peerBackoff,
+			ProbeInterval: *probeInterval,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Error("bad coordinator config", "err", err)
+			os.Exit(2)
+		}
+		coord.Start()
+		logger.Info("coordinator mode", "peers", coord.Peers())
+		serve(logger, *addr, coord.Handler(), *drain, func() error {
+			coord.Close()
+			return nil
+		})
+		return
+	}
 
 	// Durable mode: open (and recover) the store before the server
 	// exists, so New can replay the recovered state into datasets and
@@ -144,23 +196,47 @@ func main() {
 		EnablePprof:    *enablePprof,
 		Store:          st,
 		Recovered:      recovered,
+		AsyncRestore:   *asyncRestore,
 	})
 
+	serve(logger, *addr, srv.Handler(), *drain, func() error {
+		// All mutations drained; flush a final checkpoint so the next
+		// start opens a segment with an empty WAL tail instead of
+		// replaying the whole log.
+		if st == nil {
+			return nil
+		}
+		ckptStart := time.Now()
+		if err := st.Checkpoint(); err != nil {
+			_ = st.Close()
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
+		logger.Info("final checkpoint written",
+			"checkpoint_ms", float64(time.Since(ckptStart).Microseconds())/1000)
+		return nil
+	})
+}
+
+// serve runs the HTTP server until SIGTERM/SIGINT, then drains: the
+// listener closes, new connections are refused, and in-flight requests
+// run to completion (their own deadlines still apply) before shutdown
+// runs and the process exits 0.
+func serve(logger *slog.Logger, addr string, h http.Handler, drain time.Duration, shutdown func() error) {
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// SIGTERM/SIGINT begin a graceful drain: the listener closes, new
-	// connections are refused, and in-flight queries run to completion
-	// (their own deadlines still apply) before the process exits 0.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr)
+		logger.Info("listening", "addr", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -172,7 +248,7 @@ func main() {
 	}
 	stop()
 	logger.Info("shutting down: draining in-flight requests", "drain", drain.String())
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		logger.Error("drain incomplete", "err", err)
@@ -183,22 +259,11 @@ func main() {
 		logger.Error("listener error", "err", err)
 		os.Exit(1)
 	}
-	// All mutations drained; flush a final checkpoint so the next start
-	// opens a segment with an empty WAL tail instead of replaying the
-	// whole log.
-	if st != nil {
-		ckptStart := time.Now()
-		if err := st.Checkpoint(); err != nil {
-			logger.Error("final checkpoint failed", "err", err)
-			_ = st.Close()
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			logger.Error("shutdown hook failed", "err", err)
 			os.Exit(1)
 		}
-		if err := st.Close(); err != nil {
-			logger.Error("closing store", "err", err)
-			os.Exit(1)
-		}
-		logger.Info("final checkpoint written",
-			"checkpoint_ms", float64(time.Since(ckptStart).Microseconds())/1000)
 	}
 	logger.Info("drained cleanly; exiting")
 	fmt.Fprintln(os.Stderr, "sqod: clean shutdown")

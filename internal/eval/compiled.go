@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/shard"
 )
 
 // evalCompiled evaluates p over edb with the compiled-plan engine,
@@ -66,12 +67,23 @@ type cEvaluator struct {
 	planCache map[planKey]map[string]*plan
 	curEst    map[planKey][]float64
 	prov      *Provenance
+	// Sharding state (zero when Options.Shards < 2), mirroring the
+	// legacy engine: owner slices are extended only at single-threaded
+	// round barriers and read concurrently by tasks.
+	shards int
+	part   shard.Partitioner
+	owners map[*irel][]uint8
 }
 
 // prepare compiles the program's plans and interns the EDB relations
 // the program references. Interning is O(EDB) with small constants and
 // happens once per evaluation, before any join runs.
 func (ev *cEvaluator) prepare(edb *DB) error {
+	if s := ev.opts.effectiveShards(); s > 0 {
+		ev.shards = s
+		ev.part = ev.opts.partitioner()
+		ev.owners = map[*irel][]uint8{}
+	}
 	ev.idbPr = ev.prog.IDB()
 	arity, err := ev.prog.PredArity()
 	if err != nil {
@@ -277,7 +289,17 @@ func deltaTotal(d map[string]*irel) int {
 func (ev *cEvaluator) buildTasks(tasks []task, keys []planKey, prevDelta map[string]*irel) []task {
 	ev.planRound(keys, prevDelta)
 	for _, k := range keys {
-		tasks = appendPartitioned(tasks, task{ruleIdx: k.ruleIdx, occ: k.occ}, ev.firstRelLen(k.ruleIdx, k.occ, prevDelta), ev.taskParts())
+		t := task{ruleIdx: k.ruleIdx, occ: k.occ}
+		if ev.shards > 0 {
+			if pl := ev.planFor(k.ruleIdx, k.occ); len(pl.subs) > 0 {
+				rel := ev.subRel(&pl.subs[0], prevDelta)
+				tasks = appendSharded(tasks, t, ev.ownersFor(rel), ev.shards)
+				continue
+			}
+			tasks = append(tasks, t)
+			continue
+		}
+		tasks = appendPartitioned(tasks, t, ev.firstRelLen(k.ruleIdx, k.occ, prevDelta), ev.taskParts())
 	}
 	return tasks
 }
@@ -360,6 +382,7 @@ type planSeg struct {
 type cTaskResult struct {
 	headRows []uint32
 	nHeads   int
+	rowIdx   []int32  // sharded tasks: depth-0 row index per head
 	snaps    []uint32 // nSlots values per head
 	probes   int64
 	firings  int64
@@ -407,45 +430,25 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 	}
 
 	roundDelta := map[string]int64{}
-	for i := range results {
-		res := &results[i]
-		if res.err != nil {
-			return res.err
+	for i := 0; i < len(results); {
+		if tasks[i].nShards == 0 {
+			if err := ev.mergeOne(&results[i], tasks[i], roundDelta); err != nil {
+				return err
+			}
+			i++
+			continue
 		}
-		ev.stats.JoinProbes += res.probes
-		ev.stats.RuleFirings += res.firings
-		ev.stats.AdaptiveSkips += res.skips
-		ev.stats.AdaptiveReorders += res.reorders
-		ev.stats.PlansCompiled += res.plansCompiled
-		ev.stats.PlanNanos += res.planNanos
-		pl := ev.planFor(tasks[i].ruleIdx, tasks[i].occ)
-		ha := len(pl.head.isConst)
-		idbRel := ev.idb[pl.head.pred]
-		// Under adaptive reorders the task may have switched plans
-		// mid-run; provPl tracks the plan live for each head index so
-		// its snapshot is decoded with the right slot numbering. The
-		// snap stride itself is uniform — nSlots is order-invariant.
-		provPl, segIdx := pl, 0
-		for h := 0; h < res.nHeads; h++ {
-			row := res.headRows[h*ha : (h+1)*ha]
-			if !idbRel.add(row) {
-				continue // another task derived it first this round
-			}
-			ev.stats.TuplesDerived++
-			roundDelta[pl.head.pred]++
-			if ev.delta != nil {
-				ev.delta[pl.head.pred].add(row)
-			}
-			if ev.prov != nil {
-				for segIdx < len(res.segs) && res.segs[segIdx].fromHead <= h {
-					provPl = res.segs[segIdx].pl
-					segIdx++
-				}
-				snap := res.snaps[h*provPl.nSlots : (h+1)*provPl.nSlots]
-				fact, step := ev.materialize(provPl, snap)
-				ev.prov.steps[fact.Key()] = step
-			}
+		// A shard group: the nShards tasks of one (rule, occ) unit,
+		// merged by depth-0 row index to replay single-task order.
+		j := i + 1
+		for j < len(results) && tasks[j].nShards > 0 &&
+			tasks[j].ruleIdx == tasks[i].ruleIdx && tasks[j].occ == tasks[i].occ {
+			j++
 		}
+		if err := ev.mergeShardGroup(results[i:j], tasks[i:j], roundDelta); err != nil {
+			return err
+		}
+		i = j
 	}
 	ev.stats.RoundDeltas = append(ev.stats.RoundDeltas, roundDelta)
 	// Footprint at the round barrier, mirroring the legacy engine's
@@ -463,6 +466,113 @@ func (ev *cEvaluator) runRound(tasks []task, prevDelta map[string]*irel) error {
 		return fmt.Errorf("eval: %w (budget %d)", ErrBudget, ev.opts.MaxTuples)
 	}
 	return nil
+}
+
+// mergeOne merges one unsharded task result, exactly the original
+// in-task-order merge.
+func (ev *cEvaluator) mergeOne(res *cTaskResult, t task, roundDelta map[string]int64) error {
+	if res.err != nil {
+		return res.err
+	}
+	ev.stats.JoinProbes += res.probes
+	ev.stats.RuleFirings += res.firings
+	ev.stats.AdaptiveSkips += res.skips
+	ev.stats.AdaptiveReorders += res.reorders
+	ev.stats.PlansCompiled += res.plansCompiled
+	ev.stats.PlanNanos += res.planNanos
+	pl := ev.planFor(t.ruleIdx, t.occ)
+	ha := len(pl.head.isConst)
+	idbRel := ev.idb[pl.head.pred]
+	// Under adaptive reorders the task may have switched plans
+	// mid-run; provPl tracks the plan live for each head index so
+	// its snapshot is decoded with the right slot numbering. The
+	// snap stride itself is uniform — nSlots is order-invariant.
+	provPl, segIdx := pl, 0
+	for h := 0; h < res.nHeads; h++ {
+		row := res.headRows[h*ha : (h+1)*ha]
+		if !idbRel.add(row) {
+			continue // another task derived it first this round
+		}
+		ev.stats.TuplesDerived++
+		roundDelta[pl.head.pred]++
+		if ev.delta != nil {
+			ev.delta[pl.head.pred].add(row)
+		}
+		if ev.prov != nil {
+			for segIdx < len(res.segs) && res.segs[segIdx].fromHead <= h {
+				provPl = res.segs[segIdx].pl
+				segIdx++
+			}
+			snap := res.snaps[h*provPl.nSlots : (h+1)*provPl.nSlots]
+			fact, step := ev.materialize(provPl, snap)
+			ev.prov.steps[fact.Key()] = step
+		}
+	}
+	return nil
+}
+
+// mergeShardGroup is mergeOne's shard-group counterpart: counters are
+// summed in task order and heads are k-way merged by the depth-0 row
+// index that produced them (see shard.go for why this reconstructs
+// single-task order). Adaptive plan swaps cannot occur here — the
+// policy is rejected with Options.Shards — so the group shares one
+// plan and segs stay empty.
+func (ev *cEvaluator) mergeShardGroup(results []cTaskResult, tasks []task, roundDelta map[string]int64) error {
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return res.err
+		}
+		ev.stats.JoinProbes += res.probes
+		ev.stats.RuleFirings += res.firings
+		ev.stats.AdaptiveSkips += res.skips
+		ev.stats.AdaptiveReorders += res.reorders
+		ev.stats.PlansCompiled += res.plansCompiled
+		ev.stats.PlanNanos += res.planNanos
+	}
+	pl := ev.planFor(tasks[0].ruleIdx, tasks[0].occ)
+	ha := len(pl.head.isConst)
+	idbRel := ev.idb[pl.head.pred]
+	pos := make([]int, len(results))
+	for {
+		best := -1
+		var bestRow int32
+		for k := range results {
+			if pos[k] >= results[k].nHeads {
+				continue
+			}
+			if r := results[k].rowIdx[pos[k]]; best < 0 || r < bestRow {
+				best, bestRow = k, r
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		res := &results[best]
+		h := pos[best]
+		pos[best]++
+		row := res.headRows[h*ha : (h+1)*ha]
+		if !idbRel.add(row) {
+			continue // a lower-rowIdx derivation merged it first
+		}
+		ev.stats.TuplesDerived++
+		roundDelta[pl.head.pred]++
+		if ev.delta != nil {
+			ev.delta[pl.head.pred].add(row)
+		}
+		if ev.prov != nil {
+			snap := res.snaps[h*pl.nSlots : (h+1)*pl.nSlots]
+			fact, step := ev.materialize(pl, snap)
+			ev.prov.steps[fact.Key()] = step
+		}
+		key := ""
+		if ha > 0 {
+			key = ev.in.termKey(row[0])
+		}
+		if ev.part.Shard(key, ev.shards) != tasks[best].shard {
+			ev.stats.ShardExchanged++
+		}
+	}
 }
 
 // materialize converts a head row's slot snapshot back to the ground
@@ -496,10 +606,17 @@ func (ev *cEvaluator) groundTpl(tpl atomTpl, snap []uint32) ast.Atom {
 // private output buffer with its dedup set, and reusable probe/negation
 // scratch buffers. No allocation happens per candidate tuple.
 type cTaskRun struct {
-	ev        *cEvaluator
-	pl        *plan
-	delta     map[string]*irel
-	lo, hi    int
+	ev     *cEvaluator
+	pl     *plan
+	delta  map[string]*irel
+	lo, hi int
+	// Sharded-task state, mirroring taskRun: only depth-0 rows owned by
+	// shard are probed, and cur records the live depth-0 row index for
+	// the barrier's k-way merge.
+	sharded   bool
+	shard     uint8
+	owners    []uint8
+	cur       int32
 	binding   []uint32
 	probeBufs [][]uint32 // per-depth bound-value scratch
 	negBuf    []uint32
@@ -527,12 +644,15 @@ func (ev *cEvaluator) runTask(t task, prevDelta map[string]*irel) cTaskResult {
 		}
 	}
 	tr := &cTaskRun{
-		ev:    ev,
-		pl:    pl,
-		delta: prevDelta,
-		lo:    t.lo,
-		hi:    t.hi,
-		base:  ev.stats.TuplesDerived,
+		ev:      ev,
+		pl:      pl,
+		delta:   prevDelta,
+		lo:      t.lo,
+		hi:      t.hi,
+		sharded: t.nShards > 0,
+		shard:   uint8(t.shard),
+		owners:  t.owners,
+		base:    ev.stats.TuplesDerived,
 	}
 	if ev.policy == PolicyAdaptive && len(pl.subs) > 1 {
 		tr.est = ev.curEst[planKey{t.ruleIdx, t.occ}]
@@ -601,6 +721,12 @@ func (tr *cTaskRun) joinFrom(depth int) error {
 			if int(ri) < lo || int(ri) >= hi {
 				continue
 			}
+			if depth == 0 && tr.sharded {
+				if tr.owners[ri] != tr.shard {
+					continue
+				}
+				tr.cur = ri
+			}
 			if err := tr.tryRow(depth, rel.row(int(ri)), false); err != nil {
 				return err
 			}
@@ -611,6 +737,12 @@ func (tr *cTaskRun) joinFrom(depth int) error {
 		return nil
 	}
 	for i := lo; i < hi; i++ {
+		if depth == 0 && tr.sharded {
+			if tr.owners[i] != tr.shard {
+				continue
+			}
+			tr.cur = int32(i)
+		}
 		if err := tr.tryRow(depth, rel.row(i), true); err != nil {
 			return err
 		}
@@ -815,6 +947,9 @@ func (tr *cTaskRun) finish() error {
 	tr.res.headRows = append(tr.res.headRows, row...)
 	tr.res.nHeads++
 	tr.seen.place(slot, hv, idx)
+	if tr.sharded {
+		tr.res.rowIdx = append(tr.res.rowIdx, tr.cur)
+	}
 	if tr.ev.prov != nil {
 		tr.res.snaps = append(tr.res.snaps, tr.binding...)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/magic"
+	"repro/internal/shard"
 )
 
 // ErrBudget is wrapped by the error returned when evaluation exceeds
@@ -72,6 +73,15 @@ type Stats struct {
 	// from bottom-up in every counter — that difference is the point —
 	// while the answers stay identical.
 	MagicApplied bool
+	// ShardExchanged counts, under sharded evaluation (Options.Shards >
+	// 1), the new tuples whose deriving shard is not their hash owner —
+	// the cross-shard delta traffic a distributed deployment would ship
+	// at each round barrier. Zero when sharding is off. Deterministic
+	// for a fixed program, database, and options (the partitioner hashes
+	// row contents, not intern ids), but excluded from Equal because it
+	// is a distribution diagnostic that legitimately varies with the
+	// shard count.
+	ShardExchanged int64
 	// PeakMaterialized is the largest total number of materialized IDB
 	// tuples (relations plus the semi-naive delta) observed at any
 	// round barrier. This is the memory-footprint metric the P8
@@ -219,6 +229,20 @@ type Options struct {
 	// inlined into their consumer, so their tuples are never
 	// materialized. Applied after the magic rewrite when both are on.
 	Stream bool
+	// Shards hash-partitions every rule's depth-0 relation by its first
+	// column and runs fixpoint rounds shard-parallel, exchanging deltas
+	// at the round barrier (see shard.go). 0 and 1 mean off. Answers,
+	// Stats, and provenance are bit-identical to unsharded evaluation
+	// at any shard count and worker count; Stats.ShardExchanged reports
+	// the cross-shard traffic a distributed deployment would ship. At
+	// most shard.MaxShards; incompatible with PolicyAdaptive, whose
+	// task-local reordering cannot stay shard-invariant.
+	Shards int
+	// ShardPartitioner names the hash partitioner used when Shards > 1:
+	// "modulo" (the default) or "rendezvous" (consistent hashing; see
+	// internal/shard). The choice never affects answers, only which
+	// shard owns which rows.
+	ShardPartitioner string
 }
 
 // DefaultOptions are the options used by Eval.
@@ -247,6 +271,18 @@ func (o Options) validatePolicy() error {
 	}
 	if _, err := ParseMagicMode(string(o.Magic)); err != nil {
 		return err
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("eval: negative shard count %d", o.Shards)
+	}
+	if o.Shards > shard.MaxShards {
+		return fmt.Errorf("eval: shard count %d exceeds the maximum %d", o.Shards, shard.MaxShards)
+	}
+	if _, err := shard.Parse(o.ShardPartitioner); err != nil {
+		return err
+	}
+	if o.Shards > 1 && pol == PolicyAdaptive {
+		return fmt.Errorf("eval: the adaptive policy is task-local and cannot keep Stats invariant across shard counts; use greedy or cost with Options.Shards")
 	}
 	return nil
 }
@@ -324,9 +360,20 @@ type evaluator struct {
 	idbPr   map[string]bool
 	arity   map[string]int
 	prov    *Provenance // non-nil when provenance tracking is on
+	// Sharding state (zero when Options.Shards < 2): the resolved
+	// partitioner and the per-relation owner memo, written only at
+	// single-threaded round barriers.
+	shards int
+	part   shard.Partitioner
+	owners map[*Relation][]uint8
 }
 
 func (ev *evaluator) run() error {
+	if s := ev.opts.effectiveShards(); s > 0 {
+		ev.shards = s
+		ev.part = ev.opts.partitioner()
+		ev.owners = map[*Relation][]uint8{}
+	}
 	ev.idbPr = ev.prog.IDB()
 	ar, err := ev.prog.PredArity()
 	if err != nil {
@@ -350,10 +397,18 @@ func (ev *evaluator) run() error {
 // the relation probed first (hi == 0 means the full relation). Tasks
 // are independent: they read the round's frozen snapshot and write
 // only their own buffers.
+//
+// Under sharded evaluation (nShards > 0) the depth-0 partition is a
+// hash partition instead of a range: the task only probes depth-0 rows
+// whose precomputed owner (owners[row]) equals shard. Sharded tasks
+// are never additionally range-partitioned.
 type task struct {
 	ruleIdx int
 	occ     int
 	lo, hi  int
+	shard   int
+	nShards int     // 0 = unsharded
+	owners  []uint8 // per-row shard owner of the depth-0 relation
 }
 
 // headDerivation is one head fact emitted by a task, with its recorded
@@ -363,9 +418,13 @@ type headDerivation struct {
 	step *provStep
 }
 
-// taskResult is the private output buffer of one task.
+// taskResult is the private output buffer of one task. rowIdx is only
+// filled by sharded tasks: the depth-0 row index that produced each
+// head, in ascending order, which the barrier's k-way merge uses to
+// reconstruct single-task derivation order (see shard.go).
 type taskResult struct {
 	heads   []headDerivation
+	rowIdx  []int32
 	probes  int64
 	firings int64
 	err     error
@@ -403,33 +462,42 @@ func appendPartitioned(ts []task, t task, relLen, workers int) []task {
 	return ts
 }
 
-// firstRelLen returns the tuple count of the relation the task probes
-// at depth 0 (the delta relation for occ >= 0, otherwise the rule's
-// first positive subgoal), or 0 when the task cannot be partitioned.
-func (ev *evaluator) firstRelLen(r ast.Rule, occ int, prevDelta *DB) int {
-	var pred string
+// firstRel returns the relation the task probes at depth 0 (the delta
+// relation for occ >= 0, otherwise the rule's first positive subgoal),
+// or nil when the rule has no positive subgoals.
+func (ev *evaluator) firstRel(r ast.Rule, occ int, prevDelta *DB) *Relation {
 	switch {
 	case occ >= 0:
-		pred = r.Pos[occ].Pred
-		if rel := prevDelta.Lookup(pred); rel != nil {
-			return rel.Len()
-		}
-		return 0
+		return prevDelta.Lookup(r.Pos[occ].Pred)
 	case len(r.Pos) == 0:
-		return 0
-	default:
-		pred = r.Pos[0].Pred
+		return nil
 	}
-	var rel *Relation
+	pred := r.Pos[0].Pred
 	if ev.idbPr[pred] {
-		rel = ev.idb.Lookup(pred)
-	} else {
-		rel = ev.edb.Lookup(pred)
+		return ev.idb.Lookup(pred)
 	}
+	return ev.edb.Lookup(pred)
+}
+
+// firstRelLen returns the tuple count of the depth-0 relation, or 0
+// when the task cannot be partitioned.
+func (ev *evaluator) firstRelLen(r ast.Rule, occ int, prevDelta *DB) int {
+	rel := ev.firstRel(r, occ, prevDelta)
 	if rel == nil {
 		return 0
 	}
 	return rel.Len()
+}
+
+// appendTasks expands one (rule, occ) unit into round tasks: hash
+// shards when sharding is on and the rule has a depth-0 relation,
+// contiguous range partitions otherwise.
+func (ev *evaluator) appendTasks(ts []task, t task, r ast.Rule, prevDelta *DB) []task {
+	if ev.shards > 0 && len(r.Pos) > 0 {
+		rel := ev.firstRel(r, t.occ, prevDelta)
+		return appendSharded(ts, t, ev.ownersFor(rel), ev.shards)
+	}
+	return appendPartitioned(ts, t, ev.firstRelLen(r, t.occ, prevDelta), ev.workers)
 }
 
 // runNaive recomputes every rule over the full database until no new
@@ -444,7 +512,7 @@ func (ev *evaluator) runNaive() error {
 		before := ev.stats.TuplesDerived
 		var tasks []task
 		for i, r := range ev.prog.Rules {
-			tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil), ev.workers)
+			tasks = ev.appendTasks(tasks, task{ruleIdx: i, occ: -1}, r, nil)
 		}
 		if err := ev.runRound(tasks, nil); err != nil {
 			return err
@@ -477,7 +545,7 @@ func (ev *evaluator) runSeminaive() error {
 		if !r.IsInit(ev.idbPr) {
 			continue
 		}
-		tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: -1}, ev.firstRelLen(r, -1, nil), ev.workers)
+		tasks = ev.appendTasks(tasks, task{ruleIdx: i, occ: -1}, r, nil)
 	}
 	if err := ev.runRound(tasks, nil); err != nil {
 		return err
@@ -498,7 +566,7 @@ func (ev *evaluator) runSeminaive() error {
 		tasks = tasks[:0]
 		for i, r := range ev.prog.Rules {
 			for _, occ := range ev.idbOccurrences(r) {
-				tasks = appendPartitioned(tasks, task{ruleIdx: i, occ: occ}, ev.firstRelLen(r, occ, prevDelta), ev.workers)
+				tasks = ev.appendTasks(tasks, task{ruleIdx: i, occ: occ}, r, prevDelta)
 			}
 		}
 		if err := ev.runRound(tasks, prevDelta); err != nil {
@@ -546,26 +614,31 @@ func (ev *evaluator) runRound(tasks []task, prevDelta *DB) error {
 	}
 
 	roundDelta := map[string]int64{}
-	for i := range results {
-		res := &results[i]
-		if res.err != nil {
-			return res.err
+	for i := 0; i < len(results); {
+		if tasks[i].nShards == 0 {
+			res := &results[i]
+			if res.err != nil {
+				return res.err
+			}
+			ev.stats.JoinProbes += res.probes
+			ev.stats.RuleFirings += res.firings
+			for _, h := range res.heads {
+				ev.addHead(h, roundDelta, -1)
+			}
+			i++
+			continue
 		}
-		ev.stats.JoinProbes += res.probes
-		ev.stats.RuleFirings += res.firings
-		for _, h := range res.heads {
-			if !ev.idb.AddFact(h.fact) {
-				continue // another task derived it first this round
-			}
-			ev.stats.TuplesDerived++
-			roundDelta[h.fact.Pred]++
-			if ev.delta != nil {
-				ev.delta.AddFact(h.fact)
-			}
-			if ev.prov != nil && h.step != nil {
-				ev.prov.steps[h.fact.Key()] = *h.step
-			}
+		// A shard group: the nShards tasks of one (rule, occ) unit,
+		// merged by depth-0 row index to replay single-task order.
+		j := i + 1
+		for j < len(results) && tasks[j].nShards > 0 &&
+			tasks[j].ruleIdx == tasks[i].ruleIdx && tasks[j].occ == tasks[i].occ {
+			j++
 		}
+		if err := ev.mergeShardGroup(results[i:j], tasks[i:j], roundDelta); err != nil {
+			return err
+		}
+		i = j
 	}
 	ev.stats.RoundDeltas = append(ev.stats.RoundDeltas, roundDelta)
 	// Footprint at the round barrier: every IDB tuple plus the
@@ -596,6 +669,9 @@ func (ev *evaluator) runTask(t task, prevDelta *DB) taskResult {
 		deltaOcc: t.occ,
 		lo:       t.lo,
 		hi:       t.hi,
+		sharded:  t.nShards > 0,
+		shard:    uint8(t.shard),
+		owners:   t.owners,
 		order:    joinOrder(len(r.Pos), t.occ),
 		binding:  map[string]ast.Term{},
 		seen:     map[string]bool{},
@@ -631,12 +707,19 @@ type taskRun struct {
 	ev       *evaluator
 	delta    *DB // previous round's delta (nil for init/naive tasks)
 	deltaOcc int
-	lo, hi   int   // depth-0 tuple partition; hi == 0 → full relation
-	order    []int // join depth → subgoal index
-	binding  map[string]ast.Term
-	seen     map[string]bool // heads already buffered by this task
-	res      taskResult
-	base     int64 // TuplesDerived at round start, for the budget check
+	lo, hi   int // depth-0 tuple partition; hi == 0 → full relation
+	// Sharded-task state: only depth-0 rows with owners[row] == shard
+	// are probed, and cur tracks the live depth-0 row index so every
+	// buffered head can record which row produced it (see shard.go).
+	sharded bool
+	shard   uint8
+	owners  []uint8
+	cur     int32
+	order   []int // join depth → subgoal index
+	binding map[string]ast.Term
+	seen    map[string]bool // heads already buffered by this task
+	res     taskResult
+	base    int64 // TuplesDerived at round start, for the budget check
 }
 
 // joinFrom recursively extends the binding over positive subgoals
@@ -745,13 +828,25 @@ func (tr *taskRun) joinFrom(r ast.Rule, depth int) error {
 			if ci < lo || ci >= hi {
 				continue
 			}
+			if depth == 0 && tr.sharded {
+				if tr.owners[ci] != tr.shard {
+					continue
+				}
+				tr.cur = int32(ci)
+			}
 			if err := tryTuple(rel.tuples[ci]); err != nil {
 				return err
 			}
 		}
 	} else {
-		for _, t := range rel.tuples[lo:hi] {
-			if err := tryTuple(t); err != nil {
+		for i := lo; i < hi; i++ {
+			if depth == 0 && tr.sharded {
+				if tr.owners[i] != tr.shard {
+					continue
+				}
+				tr.cur = int32(i)
+			}
+			if err := tryTuple(rel.tuples[i]); err != nil {
 				return err
 			}
 		}
@@ -841,6 +936,9 @@ func (tr *taskRun) finishRule(r ast.Rule) (err error) {
 		h.step = &provStep{rule: inst, body: inst.Pos}
 	}
 	tr.res.heads = append(tr.res.heads, h)
+	if tr.sharded {
+		tr.res.rowIdx = append(tr.res.rowIdx, tr.cur)
+	}
 	return nil
 }
 

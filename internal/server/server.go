@@ -27,6 +27,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	sqo "repro"
@@ -79,6 +80,13 @@ type Config struct {
 	// replays it — checkpoint base first, then the WAL tail through the
 	// incremental view-maintenance path — before serving.
 	Recovered *store.Recovered
+	// AsyncRestore runs the Recovered replay in the background instead
+	// of blocking New. Until it completes, /readyz reports 503 and every
+	// dataset-touching endpoint fails fast with code "not_ready" —
+	// /healthz stays pure liveness so orchestrators don't kill a node
+	// for the crime of recovering a large WAL. Cluster coordinators use
+	// /readyz to exclude still-restoring workers from placement.
+	AsyncRestore bool
 }
 
 // Server is the sqod service. Create with New, expose via Handler.
@@ -90,6 +98,7 @@ type Server struct {
 	sem     chan struct{} // admission-control semaphore
 	policy  sqo.JoinOrderPolicy
 	store   *store.Store // nil when running in-memory
+	ready   atomic.Bool  // false until durable-state restore completes
 
 	datasets *datasetStore
 }
@@ -139,11 +148,23 @@ func New(cfg Config) *Server {
 			return c.Appends, c.Bytes, c.Checkpoints
 		}
 		if cfg.Recovered != nil {
+			if cfg.AsyncRestore {
+				go func() {
+					s.restore(cfg.Recovered)
+					s.ready.Store(true)
+				}()
+				return s
+			}
 			s.restore(cfg.Recovered)
 		}
 	}
+	s.ready.Store(true)
 	return s
 }
+
+// Ready reports whether durable-state restore has completed (always
+// true without a store or with synchronous restore).
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Metrics exposes the server's registry (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -157,21 +178,32 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", s.instrument("metrics", s.metrics.ServeHTTP))
 	mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Pure liveness: true as long as the process serves HTTP, even
+		// mid-restore. Readiness is /readyz.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	}))
-	mux.Handle("PUT /v1/datasets/{name}", s.instrument("dataset_put", s.handleDatasetPut))
-	mux.Handle("POST /v1/datasets/{name}", s.instrument("dataset_post", s.handleDatasetPost))
-	mux.Handle("DELETE /v1/datasets/{name}", s.instrument("dataset_delete", s.handleDatasetDelete))
-	mux.Handle("GET /v1/datasets", s.instrument("dataset_list", s.handleDatasetList))
-	mux.Handle("POST /v1/datasets/{name}/facts", s.instrument("facts_add", s.handleFactsAdd))
-	mux.Handle("DELETE /v1/datasets/{name}/facts", s.instrument("facts_delete", s.handleFactsDelete))
-	mux.Handle("POST /v1/datasets/{name}/views/{view}", s.instrument("view_create", s.handleViewCreate))
-	mux.Handle("GET /v1/datasets/{name}/views/{view}", s.instrument("view_get", s.handleViewGet))
-	mux.Handle("DELETE /v1/datasets/{name}/views/{view}", s.instrument("view_delete", s.handleViewDelete))
+	mux.Handle("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "restoring")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	mux.Handle("PUT /v1/datasets/{name}", s.gated("dataset_put", s.handleDatasetPut))
+	mux.Handle("POST /v1/datasets/{name}", s.gated("dataset_post", s.handleDatasetPost))
+	mux.Handle("DELETE /v1/datasets/{name}", s.gated("dataset_delete", s.handleDatasetDelete))
+	mux.Handle("GET /v1/datasets", s.gated("dataset_list", s.handleDatasetList))
+	mux.Handle("POST /v1/datasets/{name}/facts", s.gated("facts_add", s.handleFactsAdd))
+	mux.Handle("DELETE /v1/datasets/{name}/facts", s.gated("facts_delete", s.handleFactsDelete))
+	mux.Handle("POST /v1/datasets/{name}/views/{view}", s.gated("view_create", s.handleViewCreate))
+	mux.Handle("GET /v1/datasets/{name}/views/{view}", s.gated("view_get", s.handleViewGet))
+	mux.Handle("DELETE /v1/datasets/{name}/views/{view}", s.gated("view_delete", s.handleViewDelete))
 	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.Handle("POST /v1/lint", s.instrument("lint", s.handleLint))
-	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
+	mux.Handle("POST /v1/query", s.gated("query", s.handleQuery))
 	if s.cfg.EnablePprof {
 		// net/http/pprof only self-registers on http.DefaultServeMux;
 		// a custom mux needs the handlers wired explicitly.
@@ -200,6 +232,21 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += n
 	return n, err
+}
+
+// gated wraps a dataset-touching handler so it fails fast with 503
+// "not_ready" while an asynchronous restore is still replaying durable
+// state — serving a partial dataset would silently return wrong
+// answers. Pure-compute endpoints (optimize, lint) stay ungated.
+func (s *Server) gated(endpoint string, h http.HandlerFunc) http.Handler {
+	return s.instrument(endpoint, func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeError(w, http.StatusServiceUnavailable, "not_ready",
+				"server is restoring durable state; retry shortly")
+			return
+		}
+		h(w, r)
+	})
 }
 
 // instrument wraps a handler with body limiting, latency observation,

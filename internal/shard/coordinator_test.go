@@ -1,0 +1,478 @@
+package shard_test
+
+// Cluster tests run real sqod workers (internal/server) behind
+// httptest listeners and drive them through a Coordinator — the same
+// wiring cmd/sqod -coordinator uses, minus the network. They live in
+// package shard_test because internal/server (transitively) imports
+// internal/shard.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newCluster starts n workers and a coordinator over them, returning
+// the coordinator's test server plus the workers keyed by base URL.
+func newCluster(t *testing.T, n int, cfg shard.Config) (*shard.Coordinator, *httptest.Server, map[string]*httptest.Server) {
+	t.Helper()
+	workers := map[string]*httptest.Server{}
+	var peers []string
+	for i := 0; i < n; i++ {
+		ws := httptest.NewServer(server.New(server.Config{Logger: quietLogger()}).Handler())
+		t.Cleanup(ws.Close)
+		workers[ws.URL] = ws
+		peers = append(peers, ws.URL)
+	}
+	cfg.Peers = peers
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = 5 * time.Second
+	}
+	c, err := shard.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cs := httptest.NewServer(c.Handler())
+	t.Cleanup(cs.Close)
+	return c, cs, workers
+}
+
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+type scatterResponse struct {
+	Answers        []string `json:"answers"`
+	AnswerCount    int      `json:"answer_count"`
+	Degraded       bool     `json:"degraded"`
+	FailedPeers    []string `json:"failed_peers"`
+	FailedDatasets []string `json:"failed_datasets"`
+	Shards         []struct {
+		Dataset     string   `json:"dataset"`
+		Peer        string   `json:"peer"`
+		AnswerCount int      `json:"answer_count"`
+		Answers     []string `json:"answers"`
+		Error       string   `json:"error"`
+	} `json:"shards"`
+}
+
+const clusterProgram = `path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+?- path.`
+
+// TestClusterScatterGather covers the happy path end to end: mutations
+// route to the placed owner, the dataset list is a peer-annotated
+// union, and a scattered query merges per-shard answers into exactly
+// the union a single node holding every shard's facts would produce.
+func TestClusterScatterGather(t *testing.T) {
+	c, cs, workers := newCluster(t, 3, shard.Config{})
+	datasets := map[string]string{
+		"alpha": "edge(1, 2). edge(2, 3).",
+		"beta":  "edge(10, 11). edge(11, 12).",
+		"gamma": "edge(2, 3). edge(20, 21).", // overlaps alpha: dedup must collapse path(2, 3)
+	}
+	for name, facts := range datasets {
+		if code, raw := do(t, http.MethodPut, cs.URL+"/v1/datasets/"+name, facts); code != http.StatusOK {
+			t.Fatalf("PUT %s via coordinator = %d %s", name, code, raw)
+		}
+	}
+
+	// Each dataset must live on exactly its rendezvous owner.
+	for name := range datasets {
+		owner := c.Owner(name)
+		for url, ws := range workers {
+			_, raw := do(t, http.MethodGet, ws.URL+"/v1/datasets", "")
+			var infos []struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(raw, &infos); err != nil {
+				t.Fatal(err)
+			}
+			has := false
+			for _, in := range infos {
+				if in.Name == name {
+					has = true
+				}
+			}
+			if has != (url == owner) {
+				t.Fatalf("dataset %q on %s: present=%v, owner=%s", name, url, has, owner)
+			}
+		}
+	}
+
+	// Scattered list: all three datasets, each annotated with its peer.
+	code, raw := do(t, http.MethodGet, cs.URL+"/v1/datasets", "")
+	if code != http.StatusOK {
+		t.Fatalf("scatter list = %d %s", code, raw)
+	}
+	var list struct {
+		Datasets []map[string]any `json:"datasets"`
+		Degraded bool             `json:"degraded"`
+	}
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Degraded || len(list.Datasets) != 3 {
+		t.Fatalf("scatter list = %s", raw)
+	}
+	for _, ds := range list.Datasets {
+		name, _ := ds["name"].(string)
+		if peer, _ := ds["peer"].(string); peer != c.Owner(name) {
+			t.Fatalf("list annotates %q with %q, owner is %q", name, peer, c.Owner(name))
+		}
+	}
+
+	// Scattered query == single-node union.
+	body, _ := json.Marshal(map[string]any{
+		"program":  clusterProgram,
+		"datasets": []string{"alpha", "beta", "gamma"},
+	})
+	code, raw = do(t, http.MethodPost, cs.URL+"/v1/query", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("scatter query = %d %s", code, raw)
+	}
+	var sr scatterResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Degraded || len(sr.FailedPeers) != 0 {
+		t.Fatalf("healthy scatter reports degraded: %s", raw)
+	}
+	if len(sr.Shards) != 3 {
+		t.Fatalf("want 3 shard results, got %s", raw)
+	}
+
+	single := httptest.NewServer(server.New(server.Config{Logger: quietLogger()}).Handler())
+	defer single.Close()
+	var all []string
+	for _, facts := range datasets {
+		all = append(all, facts)
+	}
+	do(t, http.MethodPut, single.URL+"/v1/datasets/all", strings.Join(all, "\n"))
+	qb, _ := json.Marshal(map[string]any{"program": clusterProgram, "dataset": "all"})
+	_, sraw := do(t, http.MethodPost, single.URL+"/v1/query", string(qb))
+	var sqr struct {
+		Answers []string `json:"answers"`
+	}
+	if err := json.Unmarshal(sraw, &sqr); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), sqr.Answers...)
+	sort.Strings(want)
+	// The shards are disjoint graphs (no edges between datasets), so
+	// the union of per-shard closures is the closure of the union.
+	if !equalStrings(sr.Answers, want) {
+		t.Fatalf("scattered answers != single-node answers:\n%v\nvs\n%v", sr.Answers, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClusterDegraded kills one worker and pins the degradation
+// contract: HTTP 200, degraded=true, the dead peer and its datasets
+// listed, and every surviving shard's answers still present.
+func TestClusterDegraded(t *testing.T) {
+	c, cs, workers := newCluster(t, 3, shard.Config{
+		PeerTimeout:  500 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	// Peer URLs (and so placement) vary per run: probe candidate names
+	// until we hold datasets on two distinct owners, so killing one
+	// owner provably leaves a survivor.
+	var victimDS, survivorDS, victim string
+	for i := 0; i < 1000 && survivorDS == ""; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		switch o := c.Owner(name); {
+		case victimDS == "":
+			victimDS, victim = name, o
+		case o != victim:
+			survivorDS = name
+		}
+	}
+	if survivorDS == "" {
+		t.Fatal("could not find datasets with distinct owners")
+	}
+	for _, name := range []string{victimDS, survivorDS} {
+		if code, raw := do(t, http.MethodPut, cs.URL+"/v1/datasets/"+name, "edge(1, 2)."); code != http.StatusOK {
+			t.Fatalf("PUT %s = %d %s", name, code, raw)
+		}
+	}
+	workers[victim].Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"program":  clusterProgram,
+		"datasets": []string{victimDS, survivorDS},
+	})
+	code, raw := do(t, http.MethodPost, cs.URL+"/v1/query", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("degraded scatter must still answer 200, got %d %s", code, raw)
+	}
+	var sr scatterResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Degraded {
+		t.Fatalf("killed worker not reported: %s", raw)
+	}
+	foundPeer := false
+	for _, p := range sr.FailedPeers {
+		if p == victim {
+			foundPeer = true
+		}
+	}
+	if !foundPeer {
+		t.Fatalf("failed_peers %v missing victim %s", sr.FailedPeers, victim)
+	}
+	for _, sh := range sr.Shards {
+		dead := c.Owner(sh.Dataset) == victim
+		if dead && sh.Error == "" {
+			t.Fatalf("shard %q on dead peer reports no error: %s", sh.Dataset, raw)
+		}
+		if !dead && (sh.Error != "" || sh.AnswerCount == 0) {
+			t.Fatalf("surviving shard %q dropped: %s", sh.Dataset, raw)
+		}
+	}
+	if len(sr.Answers) == 0 {
+		t.Fatalf("surviving answers dropped from degraded response: %s", raw)
+	}
+
+	// The mutation path fails loudly for the dead owner...
+	if code, raw := do(t, http.MethodPost, cs.URL+"/v1/datasets/"+victimDS+"/facts", "edge(3, 4)."); code != http.StatusBadGateway {
+		t.Fatalf("mutation to dead owner = %d %s, want 502", code, raw)
+	}
+	// ...and keeps working for live owners.
+	if code, raw := do(t, http.MethodPost, cs.URL+"/v1/datasets/"+survivorDS+"/facts", "edge(2, 3)."); code != http.StatusOK {
+		t.Fatalf("mutation to live owner = %d %s", code, raw)
+	}
+
+	// Health probe notices, /readyz stays up on the survivors, and the
+	// unhealthy gauge flips for the victim.
+	c.ProbeNow(context.Background())
+	if code, _ := do(t, http.MethodGet, cs.URL+"/readyz", ""); code != http.StatusOK {
+		t.Fatal("coordinator /readyz must stay ready while any worker lives")
+	}
+	_, mraw := do(t, http.MethodGet, cs.URL+"/metrics", "")
+	wantGauge := `sqod_peer_unhealthy{peer="` + victim + `"} 1`
+	if !strings.Contains(string(mraw), wantGauge) {
+		t.Fatalf("metrics missing %q", wantGauge)
+	}
+	if !strings.Contains(string(mraw), "sqod_peer_requests_total") || !strings.Contains(string(mraw), "sqod_scatter_seconds_count") {
+		t.Fatal("metrics missing peer request counters or scatter histogram")
+	}
+}
+
+// TestClusterRetries: a worker that fails twice with 503 then recovers
+// is retried transparently within one coordinator request.
+func TestClusterRetries(t *testing.T) {
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"answers": ["path(1, 2)"]}`))
+	}))
+	defer flaky.Close()
+	c, err := shard.NewCoordinator(shard.Config{
+		Peers:        []string{flaky.URL},
+		PeerTimeout:  time.Second,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	body, _ := json.Marshal(map[string]any{"program": clusterProgram, "datasets": []string{"d"}})
+	code, raw := do(t, http.MethodPost, cs.URL+"/v1/query", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("query = %d %s", code, raw)
+	}
+	var sr scatterResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Degraded || sr.AnswerCount != 1 {
+		t.Fatalf("retries did not recover: %s", raw)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("worker saw %d attempts, want 3", got)
+	}
+}
+
+// TestScatterGoroutineLeak scatters against a peer that never answers
+// and a client that gives up, then checks every coordinator goroutine
+// unwinds. Guards the per-shard deadline plumbing: a hung peer must
+// not pin fan-out goroutines past the request.
+func TestScatterGoroutineLeak(t *testing.T) {
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body: the server only cancels r.Context() on client
+		// disconnect once the request has been fully read.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hung.Close()
+	defer close(release)
+
+	c, err := shard.NewCoordinator(shard.Config{
+		Peers:        []string{hung.URL},
+		PeerTimeout:  200 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		body, _ := json.Marshal(map[string]any{"program": clusterProgram, "datasets": []string{"a", "b", "c"}})
+		// Half the requests are abandoned mid-flight by the client.
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, cs.URL+"/v1/query", bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			var sr scatterResponse
+			if derr := json.NewDecoder(resp.Body).Decode(&sr); derr == nil && !sr.Degraded {
+				t.Fatal("hung peer must degrade the response")
+			}
+			resp.Body.Close()
+		}
+		cancel()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterIntrospection: /v1/cluster reports probe verdicts and
+// answers placement questions consistently with Place.
+func TestClusterIntrospection(t *testing.T) {
+	c, cs, _ := newCluster(t, 2, shard.Config{})
+	code, raw := do(t, http.MethodGet, cs.URL+"/v1/cluster?place=alpha", "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/cluster = %d %s", code, raw)
+	}
+	var info struct {
+		Peers []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"peers"`
+		Placement map[string]string `json:"placement"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Peers) != 2 {
+		t.Fatalf("peers = %s", raw)
+	}
+	for _, p := range info.Peers {
+		if !p.Healthy {
+			t.Fatalf("live peer %s probed unhealthy", p.URL)
+		}
+	}
+	if info.Placement["peer"] != c.Owner("alpha") {
+		t.Fatalf("placement %v != Owner %q", info.Placement, c.Owner("alpha"))
+	}
+}
+
+// TestCoordinatorConfig: peer validation and single-dataset proxying
+// through the query endpoint.
+func TestCoordinatorConfig(t *testing.T) {
+	if _, err := shard.NewCoordinator(shard.Config{}); err == nil {
+		t.Fatal("empty peer set must be rejected")
+	}
+	if _, err := shard.NewCoordinator(shard.Config{Peers: []string{"http://a", "http://a/"}}); err == nil {
+		t.Fatal("duplicate peers must be rejected")
+	}
+
+	_, cs, _ := newCluster(t, 2, shard.Config{})
+	if code, raw := do(t, http.MethodPut, cs.URL+"/v1/datasets/solo", "edge(1, 2)."); code != http.StatusOK {
+		t.Fatalf("PUT = %d %s", code, raw)
+	}
+	body, _ := json.Marshal(map[string]any{"program": clusterProgram, "dataset": "solo"})
+	code, raw := do(t, http.MethodPost, cs.URL+"/v1/query", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("single-dataset query via coordinator = %d %s", code, raw)
+	}
+	var qr struct {
+		Answers []string `json:"answers"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Answers) != 1 || qr.Answers[0] != "(1, 2)" {
+		t.Fatalf("answers = %s", raw)
+	}
+}

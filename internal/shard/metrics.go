@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the coordinator's instrumentation registry, rendered in
+// the Prometheus text format at /metrics. Hand-rolled on sync/atomic
+// like the server's registry — the repository takes no dependencies.
+type Metrics struct {
+	mu        sync.Mutex
+	peerReqs  map[peerCode]*int64 // peer×status → requests (code 0 = transport error)
+	unhealthy map[string]*int64   // peer → 0/1 gauge
+	started   time.Time
+
+	// scatter latency histogram
+	scatterCounts [nScatterBuckets + 1]atomic.Int64
+	scatterSumNs  atomic.Int64
+	scatterTotal  atomic.Int64
+}
+
+type peerCode struct {
+	peer string
+	code int
+}
+
+var scatterBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+const nScatterBuckets = 12 // len(scatterBuckets); array length must be constant
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		peerReqs:  map[peerCode]*int64{},
+		unhealthy: map[string]*int64{},
+		started:   time.Now(),
+	}
+}
+
+// ObservePeer records one upstream request to peer finishing with the
+// given HTTP status (0 for a transport-level failure).
+func (m *Metrics) ObservePeer(peer string, code int) {
+	m.mu.Lock()
+	c, ok := m.peerReqs[peerCode{peer, code}]
+	if !ok {
+		c = new(int64)
+		m.peerReqs[peerCode{peer, code}] = c
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+}
+
+// SetUnhealthy records the probe verdict for peer (true = failing).
+func (m *Metrics) SetUnhealthy(peer string, bad bool) {
+	m.mu.Lock()
+	g, ok := m.unhealthy[peer]
+	if !ok {
+		g = new(int64)
+		m.unhealthy[peer] = g
+	}
+	m.mu.Unlock()
+	v := int64(0)
+	if bad {
+		v = 1
+	}
+	atomic.StoreInt64(g, v)
+}
+
+// ObserveScatter records one scatter-gather round trip.
+func (m *Metrics) ObserveScatter(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(scatterBuckets, s)
+	m.scatterCounts[i].Add(1)
+	m.scatterSumNs.Add(int64(d))
+	m.scatterTotal.Add(1)
+}
+
+// ServeHTTP renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	m.mu.Lock()
+	reqKeys := make([]peerCode, 0, len(m.peerReqs))
+	for k := range m.peerReqs {
+		reqKeys = append(reqKeys, k)
+	}
+	healthKeys := make([]string, 0, len(m.unhealthy))
+	for k := range m.unhealthy {
+		healthKeys = append(healthKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].peer != reqKeys[j].peer {
+			return reqKeys[i].peer < reqKeys[j].peer
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	sort.Strings(healthKeys)
+
+	b.WriteString("# HELP sqod_peer_requests_total Upstream requests to cluster peers by status (code 0 = transport error).\n# TYPE sqod_peer_requests_total counter\n")
+	for _, k := range reqKeys {
+		m.mu.Lock()
+		v := atomic.LoadInt64(m.peerReqs[k])
+		m.mu.Unlock()
+		fmt.Fprintf(&b, "sqod_peer_requests_total{peer=%q,code=\"%d\"} %d\n", k.peer, k.code, v)
+	}
+
+	b.WriteString("# HELP sqod_peer_unhealthy Health-probe verdict per peer (1 = failing /readyz).\n# TYPE sqod_peer_unhealthy gauge\n")
+	for _, k := range healthKeys {
+		m.mu.Lock()
+		v := atomic.LoadInt64(m.unhealthy[k])
+		m.mu.Unlock()
+		fmt.Fprintf(&b, "sqod_peer_unhealthy{peer=%q} %d\n", k, v)
+	}
+
+	b.WriteString("# HELP sqod_scatter_seconds Scatter-gather fan-out latency.\n# TYPE sqod_scatter_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range scatterBuckets {
+		cum += m.scatterCounts[i].Load()
+		fmt.Fprintf(&b, "sqod_scatter_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.scatterCounts[nScatterBuckets].Load()
+	fmt.Fprintf(&b, "sqod_scatter_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "sqod_scatter_seconds_sum %.6f\n", float64(m.scatterSumNs.Load())/1e9)
+	fmt.Fprintf(&b, "sqod_scatter_seconds_count %d\n", m.scatterTotal.Load())
+
+	fmt.Fprintf(&b, "# HELP sqod_coordinator_uptime_seconds Seconds since the coordinator started.\n# TYPE sqod_coordinator_uptime_seconds gauge\nsqod_coordinator_uptime_seconds %.3f\n",
+		time.Since(m.started).Seconds())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

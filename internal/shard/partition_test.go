@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenAssignments pins concrete shard assignments forever: the
+// partitioners are part of the on-the-wire cluster contract (dataset
+// placement) and the eval determinism contract, so any change to the
+// hash is a breaking change and must fail loudly here.
+func TestGoldenAssignments(t *testing.T) {
+	cases := []struct {
+		part Partitioner
+		key  string
+		n2   int
+		n4   int
+		n8   int
+	}{
+		{Modulo{}, "", 1, 1, 5},
+		{Modulo{}, "n:0", 1, 3, 3},
+		{Modulo{}, "n:3", 0, 2, 6},
+		{Modulo{}, "n:17", 1, 1, 5},
+		{Modulo{}, "s:alice", 0, 0, 0},
+		{Modulo{}, "s:bob", 1, 3, 3},
+		{Rendezvous{}, "", 1, 3, 3},
+		{Rendezvous{}, "n:0", 0, 0, 0},
+		{Rendezvous{}, "n:3", 0, 3, 5},
+		{Rendezvous{}, "n:17", 1, 1, 1},
+		{Rendezvous{}, "s:alice", 0, 2, 7},
+		{Rendezvous{}, "s:bob", 1, 1, 7},
+	}
+	for _, c := range cases {
+		for _, g := range []struct{ n, want int }{{2, c.n2}, {4, c.n4}, {8, c.n8}} {
+			if got := c.part.Shard(c.key, g.n); got != g.want {
+				t.Errorf("%s.Shard(%q, %d) = %d, want %d", c.part.Name(), c.key, g.n, got, g.want)
+			}
+		}
+	}
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	for ds, want := range map[string]string{
+		"alpha": "http://c:8080",
+		"beta":  "http://a:8080",
+		"gamma": "http://b:8080",
+	} {
+		if got := Place(ds, peers); got != want {
+			t.Errorf("Place(%q) = %q, want %q", ds, got, want)
+		}
+	}
+}
+
+func TestShardRangeAndDeterminism(t *testing.T) {
+	for _, p := range []Partitioner{Modulo{}, Rendezvous{}} {
+		for _, n := range []int{0, 1, 2, 3, 7, 256} {
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("n:%d", i)
+				got := p.Shard(key, n)
+				if got != p.Shard(key, n) {
+					t.Fatalf("%s: nondeterministic for %q", p.Name(), key)
+				}
+				if n < 2 {
+					if got != 0 {
+						t.Fatalf("%s.Shard(%q, %d) = %d, want 0", p.Name(), key, n, got)
+					}
+					continue
+				}
+				if got < 0 || got >= n {
+					t.Fatalf("%s.Shard(%q, %d) = %d out of range", p.Name(), key, n, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption: growing the shard count moves only
+// keys won by the new shard — every key not assigned to shard n keeps
+// its old owner.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	p := Rendezvous{}
+	for n := 2; n <= 8; n++ {
+		moved := 0
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("n:%d", i)
+			old, niu := p.Shard(key, n), p.Shard(key, n+1)
+			if old != niu {
+				moved++
+				if niu != n {
+					t.Fatalf("n=%d: key %q moved %d -> %d, not to the new shard", n, key, old, niu)
+				}
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: new shard won zero of 500 keys", n)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	keys := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, fmt.Sprintf("n:%d", i))
+	}
+	for _, p := range []Partitioner{Modulo{}, Rendezvous{}} {
+		for _, n := range []int{2, 4, 8} {
+			if r := Balance(p, keys, n); r > 1.35 {
+				t.Errorf("%s over %d shards: max/mean load %.2f too skewed", p.Name(), n, r)
+			}
+		}
+	}
+	if Balance(Modulo{}, nil, 4) != 1 || Balance(Modulo{}, keys, 0) != 1 {
+		t.Error("degenerate Balance inputs should report 1")
+	}
+}
+
+func TestParse(t *testing.T) {
+	for name, want := range map[string]string{"": "modulo", "modulo": "modulo", "rendezvous": "rendezvous"} {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("Parse(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse must reject unknown names")
+	}
+}
+
+func TestPlace(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	if Place("ds", nil) != "" {
+		t.Fatal("empty peer list should place nowhere")
+	}
+	// Order independence: every permutation of the peer list yields the
+	// same owner — the cluster's coordinator and a restarted replacement
+	// must agree even if -peers was written in a different order.
+	perms := [][]string{
+		{peers[0], peers[1], peers[2]},
+		{peers[2], peers[0], peers[1]},
+		{peers[1], peers[2], peers[0]},
+		{peers[2], peers[1], peers[0]},
+	}
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("dataset-%d", i)
+		owner := Place(name, perms[0])
+		for _, perm := range perms[1:] {
+			if got := Place(name, perm); got != owner {
+				t.Fatalf("Place(%q) order-dependent: %q vs %q", name, owner, got)
+			}
+		}
+	}
+	// Removing a non-owner peer never reassigns a dataset it didn't own.
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("dataset-%d", i)
+		owner := Place(name, peers)
+		for _, drop := range peers {
+			if drop == owner {
+				continue
+			}
+			rest := make([]string, 0, 2)
+			for _, p := range peers {
+				if p != drop {
+					rest = append(rest, p)
+				}
+			}
+			if got := Place(name, rest); got != owner {
+				t.Fatalf("Place(%q): dropping non-owner %q moved it %q -> %q", name, drop, owner, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — end-to-end smoke test of sqod cluster mode.
+#
+# Boots two worker sqods and one coordinator fronting them, registers
+# datasets through the coordinator (rendezvous placement must spread
+# them across both workers), runs a scattered multi-dataset query, then
+# SIGKILLs one worker mid-run and asserts the degraded contract: the
+# scatter still answers HTTP 200 with degraded=true, the failed peer
+# and its datasets are named explicitly, and every answer from the
+# surviving worker is still present. `make cluster-smoke` and the CI
+# cluster-smoke job both run exactly this script.
+set -euo pipefail
+
+W1_ADDR="${SQOD_W1_ADDR:-127.0.0.1:18361}"
+W2_ADDR="${SQOD_W2_ADDR:-127.0.0.1:18362}"
+CO_ADDR="${SQOD_CO_ADDR:-127.0.0.1:18360}"
+W1="http://$W1_ADDR"
+W2="http://$W2_ADDR"
+CO="http://$CO_ADDR"
+WORK="$(mktemp -d)"
+trap 'kill "$W1_PID" "$W2_PID" "$CO_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	for f in w1 w2 co; do
+		[ -f "$WORK/$f.log" ] && sed "s/^/  $f: /" "$WORK/$f.log" >&2
+	done
+	exit 1
+}
+
+wait_http() { # url what pid
+	for i in $(seq 1 100); do
+		if curl -fsS "$1" >/dev/null 2>&1; then return 0; fi
+		kill -0 "$3" 2>/dev/null || fail "$2 exited during startup"
+		sleep 0.1
+	done
+	fail "$2 did not become ready within 10s"
+}
+
+echo "cluster-smoke: building sqod"
+go build -o "$WORK/sqod" ./cmd/sqod
+
+echo "cluster-smoke: starting two workers"
+"$WORK/sqod" -addr "$W1_ADDR" -drain 10s >"$WORK/w1.log" 2>&1 &
+W1_PID=$!
+"$WORK/sqod" -addr "$W2_ADDR" -drain 10s >"$WORK/w2.log" 2>&1 &
+W2_PID=$!
+wait_http "$W1/readyz" "worker 1" "$W1_PID"
+wait_http "$W2/readyz" "worker 2" "$W2_PID"
+
+echo "cluster-smoke: starting the coordinator"
+"$WORK/sqod" -coordinator -peers "$W1,$W2" -addr "$CO_ADDR" \
+	-peer-retries 1 -peer-backoff 20ms -probe-interval 500ms -drain 10s >"$WORK/co.log" 2>&1 &
+CO_PID=$!
+wait_http "$CO/readyz" "coordinator" "$CO_PID"
+
+echo "cluster-smoke: registering datasets via the coordinator"
+# Placement is rendezvous-hashed over the dataset name; keep registering
+# ds-N until both workers own at least one, so the kill leaves survivors.
+NAMES=()
+SEEN_W1=0
+SEEN_W2=0
+for i in $(seq 0 19); do
+	NAME="ds-$i"
+	BASE_N=$((i * 100))
+	curl -fsS -X PUT "$CO/v1/datasets/$NAME" --data-binary "
+		edge($((BASE_N + 1)), $((BASE_N + 2))). edge($((BASE_N + 2)), $((BASE_N + 3))). edge($((BASE_N + 3)), $((BASE_N + 4))).
+	" >"$WORK/put.json" || fail "PUT $NAME via coordinator failed"
+	jq -e '.facts == 3' "$WORK/put.json" >/dev/null || fail "unexpected register response: $(cat "$WORK/put.json")"
+	NAMES+=("$NAME")
+	OWNER="$(curl -fsS "$CO/v1/cluster?place=$NAME" | jq -r .placement.peer)"
+	case "$OWNER" in
+	"$W1") SEEN_W1=1 ;;
+	"$W2") SEEN_W2=1 ;;
+	*) fail "placement of $NAME names unknown peer $OWNER" ;;
+	esac
+	if [ "$SEEN_W1" -eq 1 ] && [ "$SEEN_W2" -eq 1 ] && [ "${#NAMES[@]}" -ge 4 ]; then break; fi
+done
+[ "$SEEN_W1" -eq 1 ] && [ "$SEEN_W2" -eq 1 ] || fail "placement never used both workers"
+K="${#NAMES[@]}"
+echo "cluster-smoke: $K datasets placed across both workers"
+
+echo "cluster-smoke: datasets live on their owners, not elsewhere"
+curl -fsS "$CO/v1/datasets" >"$WORK/list.json" || fail "coordinator dataset list failed"
+jq -e --argjson k "$K" '(.datasets | length) == $k and .degraded == false' "$WORK/list.json" >/dev/null \
+	|| fail "unexpected cluster inventory: $(cat "$WORK/list.json")"
+for NAME in "${NAMES[@]}"; do
+	OWNER="$(curl -fsS "$CO/v1/cluster?place=$NAME" | jq -r .placement.peer)"
+	curl -fsS "$OWNER/v1/datasets" | jq -e --arg n "$NAME" 'map(.name) | index($n) != null' >/dev/null \
+		|| fail "$NAME missing from its owner $OWNER"
+done
+
+echo "cluster-smoke: mutation through the coordinator reaches the owner"
+curl -fsS -X POST "$CO/v1/datasets/${NAMES[0]}/facts" --data-binary 'edge(1, 4).' >"$WORK/mut.json" \
+	|| fail "proxied fact insert failed"
+jq -e '.facts_added == 1' "$WORK/mut.json" >/dev/null || fail "unexpected mutation response: $(cat "$WORK/mut.json")"
+curl -fsS -X DELETE "$CO/v1/datasets/${NAMES[0]}/facts" --data-binary 'edge(1, 4).' >/dev/null \
+	|| fail "proxied fact retract failed"
+
+DATASETS_JSON="$(printf '%s\n' "${NAMES[@]}" | jq -R . | jq -cs .)"
+QUERY="{\"program\": \"path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y). ?- path.\", \"datasets\": $DATASETS_JSON}"
+
+echo "cluster-smoke: scattered query across all $K datasets"
+# Each dataset is a 3-edge chain in a disjoint ID range: 6 paths apiece.
+curl -fsS -X POST "$CO/v1/query" -H 'Content-Type: application/json' -d "$QUERY" >"$WORK/q1.json" \
+	|| fail "scattered query failed"
+jq -e --argjson k "$K" '.degraded == false and (.failed_peers | length) == 0 and .answer_count == 6 * $k' "$WORK/q1.json" >/dev/null \
+	|| fail "unexpected scatter response: $(cat "$WORK/q1.json")"
+
+VICTIM_DS="${NAMES[0]}"
+VICTIM_PEER="$(curl -fsS "$CO/v1/cluster?place=$VICTIM_DS" | jq -r .placement.peer)"
+case "$VICTIM_PEER" in
+"$W1") VICTIM_PID=$W1_PID; SURVIVOR_PID=$W2_PID ;;
+"$W2") VICTIM_PID=$W2_PID; SURVIVOR_PID=$W1_PID ;;
+*) fail "victim dataset $VICTIM_DS has unknown owner $VICTIM_PEER" ;;
+esac
+
+echo "cluster-smoke: SIGKILL the owner of $VICTIM_DS ($VICTIM_PEER)"
+kill -KILL "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+
+echo "cluster-smoke: scatter again — expecting the explicit degraded contract"
+curl -fsS -X POST "$CO/v1/query" -H 'Content-Type: application/json' -d "$QUERY" >"$WORK/q2.json" \
+	|| fail "degraded scattered query did not answer 200"
+jq -e '.degraded == true' "$WORK/q2.json" >/dev/null || fail "scatter not marked degraded: $(cat "$WORK/q2.json")"
+jq -e --arg p "$VICTIM_PEER" '.failed_peers | index($p) != null' "$WORK/q2.json" >/dev/null \
+	|| fail "failed_peers does not name $VICTIM_PEER: $(cat "$WORK/q2.json")"
+jq -e --arg d "$VICTIM_DS" '.failed_datasets | index($d) != null' "$WORK/q2.json" >/dev/null \
+	|| fail "failed_datasets does not name $VICTIM_DS: $(cat "$WORK/q2.json")"
+FAILED=$(jq '.failed_datasets | length' "$WORK/q2.json")
+jq -e --argjson k "$K" --argjson f "$FAILED" '.answer_count == 6 * ($k - $f)' "$WORK/q2.json" >/dev/null \
+	|| fail "surviving answers incomplete: $(cat "$WORK/q2.json")"
+
+echo "cluster-smoke: mutating the dead worker's dataset fails loudly"
+STATUS=$(curl -sS -o "$WORK/mut2.json" -w '%{http_code}' -X POST "$CO/v1/datasets/$VICTIM_DS/facts" --data-binary 'edge(9, 10).')
+[ "$STATUS" = "502" ] || fail "mutation to dead owner returned $STATUS (want 502): $(cat "$WORK/mut2.json")"
+jq -e '.code == "peer_unavailable"' "$WORK/mut2.json" >/dev/null || fail "missing peer_unavailable code: $(cat "$WORK/mut2.json")"
+
+echo "cluster-smoke: coordinator stays ready and reports the unhealthy peer"
+curl -fsS "$CO/readyz" >/dev/null || fail "coordinator /readyz failed with one surviving worker"
+for i in $(seq 1 100); do
+	curl -fsS "$CO/metrics" >"$WORK/metrics.txt" || fail "coordinator metrics scrape failed"
+	grep -q "sqod_peer_unhealthy{peer=\"$VICTIM_PEER\"} 1" "$WORK/metrics.txt" && break
+	[ "$i" -eq 100 ] && fail "prober never marked $VICTIM_PEER unhealthy"
+	sleep 0.1
+done
+grep -q '^sqod_peer_requests_total' "$WORK/metrics.txt" || fail "sqod_peer_requests_total missing"
+grep -Eq '^sqod_scatter_seconds_count [1-9]' "$WORK/metrics.txt" || fail "sqod_scatter_seconds_count not positive"
+
+echo "cluster-smoke: SIGTERM coordinator and survivor — expecting clean drains"
+kill -TERM "$CO_PID"
+STATUS=0
+wait "$CO_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "coordinator exited $STATUS after SIGTERM (want 0)"
+grep -q "clean shutdown" "$WORK/co.log" || fail "no clean-shutdown line in the coordinator log"
+kill -TERM "$SURVIVOR_PID"
+STATUS=0
+wait "$SURVIVOR_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "surviving worker exited $STATUS after SIGTERM (want 0)"
+
+echo "cluster-smoke: PASS"

@@ -159,13 +159,22 @@ wait "$SQOD_PID" || STATUS=$?
 [ "$STATUS" -eq 0 ] || fail "durable sqod exited $STATUS after SIGTERM (want 0)"
 grep -q "final checkpoint written" "$WORK/sqod.log" || fail "no final-checkpoint line in the log"
 
-echo "serve-smoke: restarting on the same -data-dir"
-"$WORK/sqod" -addr "$ADDR" -data-dir "$DATA" -drain 10s >"$WORK/sqod.log" 2>&1 &
+echo "serve-smoke: restarting on the same -data-dir (-async-restore)"
+# With -async-restore the daemon answers /healthz immediately while the
+# WAL replays in the background; /readyz (what a cluster coordinator
+# probes) stays 503 until recovery completes and gates the data plane.
+"$WORK/sqod" -addr "$ADDR" -data-dir "$DATA" -async-restore -drain 10s >"$WORK/sqod.log" 2>&1 &
 SQOD_PID=$!
 for i in $(seq 1 100); do
 	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
 	kill -0 "$SQOD_PID" 2>/dev/null || fail "restarted sqod exited during startup"
 	[ "$i" -eq 100 ] && fail "restarted sqod did not become healthy within 10s"
+	sleep 0.1
+done
+for i in $(seq 1 100); do
+	if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then break; fi
+	kill -0 "$SQOD_PID" 2>/dev/null || fail "restarted sqod exited during recovery"
+	[ "$i" -eq 100 ] && fail "restarted sqod never became ready within 10s"
 	sleep 0.1
 done
 
