@@ -3,13 +3,21 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-compare bench-regression fuzz-smoke incr-smoke lint-smoke serve serve-smoke cluster-smoke ci
+.PHONY: build vet vet-stats fmt test race bench bench-compare bench-regression fuzz-smoke incr-smoke lint-smoke serve serve-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzer (internal/analyzers/statsequal) run as a vet
+# pass: every eval.Stats field must be either compared by Stats.Equal
+# or deliberately listed in statsEqualExcluded.
+vet-stats:
+	@mkdir -p bench-out
+	$(GO) build -o bench-out/statsequal ./cmd/statsequal
+	$(GO) vet -vettool=$(abspath bench-out/statsequal) ./internal/eval/
 
 # Fails (and lists the offenders) when any file is not gofmt-clean.
 fmt:
@@ -60,12 +68,14 @@ bench-regression:
 	$(GO) run ./cmd/sqobench -run P7 -out bench-out/bench7.json
 	$(GO) run ./cmd/sqobench -run P8 -out bench-out/bench8.json
 	$(GO) run ./cmd/sqobench -run P9 -out bench-out/bench9.json
+	$(GO) run ./cmd/sqobench -run P10 -out bench-out/bench10.json
 	$(GO) run ./cmd/benchdiff -label P3 -baseline BENCH_3.json -current bench-out/bench3.json
 	$(GO) run ./cmd/benchdiff -label P4 -baseline BENCH_4.json -current bench-out/bench4.json
 	$(GO) run ./cmd/benchdiff -label P6 -baseline BENCH_6.json -current bench-out/bench6.json
 	$(GO) run ./cmd/benchdiff -label P7 -baseline BENCH_7.json -current bench-out/bench7.json
 	$(GO) run ./cmd/benchdiff -label P8 -peak-mem -baseline BENCH_8.json -current bench-out/bench8.json
 	$(GO) run ./cmd/benchdiff -label P9 -baseline BENCH_9.json -current bench-out/bench9.json
+	$(GO) run ./cmd/benchdiff -label P10 -baseline BENCH_10.json -current bench-out/bench10.json
 
 # A short native-fuzzing pass over the parser. Long enough to exercise
 # the mutator, short enough for CI; sustained campaigns should raise
@@ -87,6 +97,10 @@ incr-smoke:
 lint-smoke:
 	$(GO) run ./cmd/sqolint examples/lint/figure1.dl
 	$(GO) run ./cmd/sqolint examples/lint/hygiene.dl
+	$(GO) run ./cmd/sqolint examples/lint/bounded.dl
+	$(GO) run ./cmd/sqolint examples/lint/unbounded.dl
+	@$(GO) run ./cmd/sqolint -json examples/lint/bounded.dl | grep -q '"id": "bounded-recursion"' \
+		|| { echo "lint-smoke: bounded-recursion finding missing from JSON report"; exit 1; }
 	@if $(GO) run ./cmd/sqolint examples/lint/deadcode.dl; then \
 		echo "lint-smoke: deadcode.dl should exit non-zero"; exit 1; \
 	else \
@@ -112,4 +126,4 @@ serve-smoke:
 cluster-smoke:
 	./scripts/cluster-smoke.sh
 
-ci: build vet fmt test
+ci: build vet vet-stats fmt test

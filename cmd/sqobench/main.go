@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2|P3|P4|P5|P6|P7|P8|P9] [-quick]
+//	sqobench [-run F1|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|A3|P1|P2|P3|P4|P5|P6|P7|P8|P9|P10] [-quick]
 //	         [-out bench.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -27,13 +27,13 @@ import (
 
 var (
 	quick   = flag.Bool("quick", false, "smaller sweeps")
-	outPath = flag.String("out", "", "write machine-readable P3/P4/P6/P7/P8/P9 results (JSON) to this file")
+	outPath = flag.String("out", "", "write machine-readable P3/P4/P6/P7/P8/P9/P10 results (JSON) to this file")
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqobench: ")
-	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1..P9)")
+	runSel := flag.String("run", "", "run a single experiment (F1, E1..E8, A1..A3, P1..P10)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -92,6 +92,7 @@ func main() {
 		{"P7", "Durable store: update overhead and cold-start recovery", runP7},
 		{"P8", "Goal-directed evaluation: magic sets + streaming strata", runP8},
 		{"P9", "Horizontal scale-out: cluster scatter-gather + shard sweep", runP9},
+		{"P10", "Boundedness: recursion elimination vs fixpoint + fallback cost", runP10},
 	}
 	for _, e := range experiments {
 		if *runSel != "" && !strings.EqualFold(*runSel, e.id) {

@@ -11,7 +11,7 @@
 //
 //	sqoc [-facts file] [-explain] [-baseline] [-stats] [-parallel n]
 //	     [-order greedy|cost|adaptive] [-magic auto|on|off]
-//	     [-timeout d] [-budget n] [file]
+//	     [-elim auto|on|off] [-timeout d] [-budget n] [file]
 //
 // Exit status:
 //
@@ -53,6 +53,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = one per CPU, 1 = sequential)")
 	order := flag.String("order", "", "join-order policy: greedy (default), cost, or adaptive")
 	magicFlag := flag.String("magic", "", "magic-sets rewrite for goal queries like '?- path(a, Y).': auto (default), on, or off")
+	elimFlag := flag.String("elim", "", "bounded-recursion elimination (compile provably bounded fixpoints into flat joins): auto (default), on, or off")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on optimization + evaluation (0 = none)")
 	budget := flag.Int64("budget", 0, "derived-tuple budget per evaluation (0 = unlimited)")
 	shards := flag.Int("shards", 0, "hash-partition evaluation across this many shards (0/1 = off); answers are identical at any count")
@@ -64,6 +65,10 @@ func main() {
 		log.Fatal(err)
 	}
 	magicMode, err := sqo.ParseMagicMode(*magicFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elimMode, err := sqo.ParseElimMode(*elimFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +94,10 @@ func main() {
 
 	if *lintFlag {
 		rep := sqo.Lint(ctx, unit.Program, unit.ICs, unit.Facts,
-			sqo.LintOptions{MagicEnabled: magicMode != sqo.MagicOff})
+			sqo.LintOptions{
+				MagicEnabled: magicMode != sqo.MagicOff,
+				ElimEnabled:  elimMode != sqo.ElimOff,
+			})
 		if len(rep.Findings) > 0 {
 			if err := sqo.WriteLintText(os.Stderr, flag.Arg(0), rep); err != nil {
 				log.Fatal(err)
@@ -145,6 +153,7 @@ func main() {
 		opts.MaxTuples = *budget
 		opts.Policy = policy
 		opts.Magic = magicMode
+		opts.Elim = elimMode
 		opts.Shards = *shards
 		opts.ShardPartitioner = *shardPart
 		origTuples, origStats, err := sqo.QueryCtx(ctx, unit.Program, db, opts)
@@ -156,8 +165,11 @@ func main() {
 			fatal(err, *timeout, *budget)
 		}
 		goalNote := ""
+		if optStats.ElimApplied {
+			goalNote += " (bounded recursion eliminated)"
+		}
 		if optStats.MagicApplied {
-			goalNote = " (magic-sets, goal-directed)"
+			goalNote += " (magic-sets, goal-directed)"
 		}
 		fmt.Printf("\n%% original : %d answers, %d tuples derived, %d join probes\n",
 			len(origTuples), origStats.TuplesDerived, origStats.JoinProbes)

@@ -5,15 +5,16 @@
 // structured diagnostics: rules whose bodies the constraints make
 // unsatisfiable, provably empty IDB predicates and the dead rules that
 // read them, rules subsumed by a sibling, constraint features that
-// fall outside the decidable fragments of the theory, and plain
-// hygiene problems. With no file arguments it reads standard input.
+// fall outside the decidable fragments of the theory, plain hygiene
+// problems, and recursion that is provably bounded and therefore
+// eliminable. With no file arguments it reads standard input.
 //
 // Usage:
 //
 //	sqolint [-json] [-facts file] [-timeout d]
 //	        [-chase-steps n] [-max-linearizations n] [file ...]
 //
-// Exit status:
+// Exit status (identical for the text and -json renderers):
 //
 //	0  no Error-severity findings
 //	1  at least one Error-severity finding
@@ -44,14 +45,25 @@ type fileReport struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sqolint: ")
-	asJSON := flag.Bool("json", false, "emit findings as JSON instead of text")
-	factsPath := flag.String("facts", "", "file of extra ground facts checked alongside every input")
-	timeout := flag.Duration("timeout", 0, "wall-clock bound on the semantic checks (0 = none)")
-	chaseSteps := flag.Int("chase-steps", 0, "chase step budget for constraints with negation (0 = default)")
-	maxLin := flag.Int("max-linearizations", 0, "linearization budget for order-atom satisfiability (0 = default)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flag parsing,
+// linting, rendering, and the exit status. The status contract is
+// renderer-independent — the JSON path and the text path must agree —
+// and cmd/sqolint's tests pin that parity.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	logger := log.New(stderr, "sqolint: ", 0)
+	fs := flag.NewFlagSet("sqolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as JSON instead of text")
+	factsPath := fs.String("facts", "", "file of extra ground facts checked alongside every input")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound on the semantic checks (0 = none)")
+	chaseSteps := fs.Int("chase-steps", 0, "chase step budget for constraints with negation (0 = default)")
+	maxLin := fs.Int("max-linearizations", 0, "linearization budget for order-atom satisfiability (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -67,41 +79,42 @@ func main() {
 	if *factsPath != "" {
 		b, err := os.ReadFile(*factsPath)
 		if err != nil {
-			log.Print(err)
-			os.Exit(exitUsage)
+			logger.Print(err)
+			return exitUsage
 		}
 		extraFacts, err = sqo.ParseFacts(string(b))
 		if err != nil {
-			log.Print(err)
-			os.Exit(exitUsage)
+			logger.Print(err)
+			return exitUsage
 		}
 	}
 
-	inputs := flag.Args()
+	inputs := fs.Args()
 	if len(inputs) == 0 {
 		inputs = []string{"-"}
 	}
 	var reports []fileReport
 	for _, path := range inputs {
-		name, src, err := readInput(path)
+		name, src, err := readInput(path, stdin)
 		if err != nil {
-			log.Print(err)
-			os.Exit(exitUsage)
+			logger.Print(err)
+			return exitUsage
 		}
 		rep, err := lintSource(ctx, src, extraFacts, opts)
 		if err != nil {
-			log.Printf("%s: %v", name, err)
-			os.Exit(exitUsage)
+			logger.Printf("%s: %v", name, err)
+			return exitUsage
 		}
 		reports = append(reports, fileReport{Name: name, LintReport: rep})
 	}
 
 	sawErrors := false
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
-			log.Fatal(err)
+			logger.Print(err)
+			return exitUsage
 		}
 		for _, fr := range reports {
 			if fr.HasErrors() {
@@ -114,8 +127,9 @@ func main() {
 			if len(reports) == 1 && name == "<stdin>" {
 				name = ""
 			}
-			if err := sqo.WriteLintText(os.Stdout, name, fr.LintReport); err != nil {
-				log.Fatal(err)
+			if err := sqo.WriteLintText(stdout, name, fr.LintReport); err != nil {
+				logger.Print(err)
+				return exitUsage
 			}
 			if fr.HasErrors() {
 				sawErrors = true
@@ -123,8 +137,9 @@ func main() {
 		}
 	}
 	if sawErrors {
-		os.Exit(exitFindings)
+		return exitFindings
 	}
+	return 0
 }
 
 // lintSource parses one source text and lints it with the extra facts
@@ -138,9 +153,9 @@ func lintSource(ctx context.Context, src string, extraFacts []sqo.Atom, opts sqo
 	return sqo.Lint(ctx, unit.Program, unit.ICs, facts, opts), nil
 }
 
-func readInput(path string) (name, src string, err error) {
+func readInput(path string, stdin io.Reader) (name, src string, err error) {
 	if path == "" || path == "-" {
-		b, err := io.ReadAll(os.Stdin)
+		b, err := io.ReadAll(stdin)
 		return "<stdin>", string(b), err
 	}
 	b, err := os.ReadFile(path)

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Exit-code parity: for the same input, the -json renderer must exit
+// exactly like the text renderer — 1 when there are Error-severity
+// findings, 0 when there are only warnings and infos. A regression
+// here silently breaks CI pipelines that lint with -json.
+func TestExitCodeParityTextVsJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			// deadcode.dl's shape: the constraint makes p's body
+			// unsatisfiable, an Error.
+			name: "errors",
+			src: `p(X) :- a(X, Y), b(Y, X).
+q(X) :- p(X).
+?- q.
+:- a(X, Y), b(Y, Z).`,
+			want: 1,
+		},
+		{
+			// A bounded recursive predicate: an L7 Warning, no Errors.
+			name: "warnings only",
+			src: `buys(X, Y) :- likes(X, Y).
+buys(X, Y) :- trendy(X), buys(Z, Y).
+?- buys.`,
+			want: 0,
+		},
+		{
+			// Unbounded recursion: an L7 Info, nothing else.
+			name: "infos only",
+			src: `tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+?- tc.`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		var textOut, jsonOut, stderr bytes.Buffer
+		textCode := run(nil, strings.NewReader(tc.src), &textOut, &stderr)
+		jsonCode := run([]string{"-json"}, strings.NewReader(tc.src), &jsonOut, &stderr)
+		if textCode != tc.want {
+			t.Errorf("%s: text exit = %d, want %d\n%s", tc.name, textCode, tc.want, textOut.String())
+		}
+		if jsonCode != textCode {
+			t.Errorf("%s: json exit = %d, text exit = %d; renderers must agree", tc.name, jsonCode, textCode)
+		}
+		var reports []fileReport
+		if err := json.Unmarshal(jsonOut.Bytes(), &reports); err != nil {
+			t.Errorf("%s: -json output is not valid JSON: %v", tc.name, err)
+		}
+	}
+}
+
+// Parse failures exit 2 under both renderers.
+func TestExitCodeParseFailure(t *testing.T) {
+	const src = `p(X :- broken`
+	for _, args := range [][]string{nil, {"-json"}} {
+		var out, stderr bytes.Buffer
+		if code := run(args, strings.NewReader(src), &out, &stderr); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// statsequal — a `go vet -vettool` driver for the eval.Stats
+// comparison-contract analyzer (internal/analyzers/statsequal).
+//
+// Usage:
+//
+//	go build -o bin/statsequal ./cmd/statsequal
+//	go vet -vettool=bin/statsequal ./internal/eval/
+//
+// The driver speaks the unit-checker protocol the go command expects
+// of a vet tool, implemented directly on the standard library (the
+// repository builds with no external dependencies):
+//
+//   - `-V=full` prints a version line the build cache can fingerprint;
+//   - `-flags` prints the tool's flag definitions (none, hence "[]");
+//   - otherwise the last argument is a *.cfg file: JSON describing one
+//     package (GoFiles to analyze, VetxOutput to write). Findings are
+//     printed to stderr as file:line:col: message and the exit status
+//     is 2 when any exist, so `go vet` fails the build.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/analyzers/statsequal"
+)
+
+// config is the subset of the go command's vet configuration file the
+// driver needs; unknown fields are ignored by encoding/json.
+type config struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOutput string
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			// The version must be stable for identical tool builds:
+			// the go command caches vet results keyed on it.
+			fmt.Println("statsequal version v1")
+			return 0
+		case a == "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		fmt.Fprintln(os.Stderr, "statsequal: expected a vet configuration file; run via go vet -vettool")
+		return 1
+	}
+	b, err := os.ReadFile(args[len(args)-1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statsequal: %v\n", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "statsequal: parsing config: %v\n", err)
+		return 1
+	}
+	// The go command requires the facts file to exist after the run;
+	// this analyzer exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "statsequal: %v\n", err)
+			return 1
+		}
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statsequal: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	findings := statsequal.Check(files)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(f.Pos), f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,616 @@
+// Package bounded is a static boundedness analyzer: it detects
+// recursive predicates whose fixpoint is reached after a constant
+// number of iterations on every database, and compiles their recursion
+// away into an equivalent finite union of conjunctive queries.
+//
+// The test is the classical unfolding ladder. For a self-recursive
+// predicate p, let A_1 be the union of p's exit rules (the rules with
+// no p-subgoal) and let A_{k+1} extend A_1 with every recursive rule of
+// p whose p-subgoals have each been resolved against a disjunct of A_k
+// (renamed apart, arguments unified). A_k is exactly the set of
+// derivations of p that use recursion depth < k, so the chain
+// A_1 ⊑ A_2 ⊑ ... converges to p's fixpoint. If some step closes —
+// A_{k+1} ⊑ A_k as a union of conjunctive queries, decided by the
+// containment machinery of internal/cqc (Sagiv–Yannakakis
+// disjunct-wise CQ containment; the order-atom-aware sound variant
+// when rules carry comparisons) — then by monotonicity every deeper
+// unfolding collapses into A_k too, and A_k IS the fixpoint: p can be
+// evaluated as a flat union of joins with no iteration at all.
+//
+// Boundedness is undecidable in general (already for linear programs),
+// so the analysis is three-valued and budgeted: Bounded carries the
+// witness depth and the equivalent UCQ, NotWithinBudget means no
+// containment witness was found before the depth/size budgets ran out
+// (the honest verdict for genuinely unbounded programs such as
+// transitive closure), and Unknown marks predicates the procedure does
+// not cover (mutual recursion, negated subgoals). Structural
+// pre-checks — the linear/piecewise-linear classification and a
+// projected-growth bound for nonlinear rules — bail out before any
+// hopeless containment call is made.
+package bounded
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/cqc"
+)
+
+// ErrNotBounded is wrapped by Rewrite when no predicate of the program
+// could be proven bounded; callers fall back to ordinary fixpoint
+// evaluation with errors.Is, mirroring magic.ErrNotApplicable.
+var ErrNotBounded = errors.New("recursion not provably bounded")
+
+// Options bound the analysis. Boundedness is undecidable, so these are
+// semantic knobs, not tuning parameters: raising them makes the
+// analyzer prove MORE programs bounded (never different answers).
+type Options struct {
+	// MaxDepth is the largest unfolding depth k for which the witness
+	// containment A_{k+1} ⊑ A_k is attempted (default 3).
+	MaxDepth int
+	// MaxDisjuncts caps the number of conjunctive queries in any A_k
+	// (default 48); past it the verdict is NotWithinBudget.
+	MaxDisjuncts int
+	// MaxBodyAtoms caps the positive body length of an expanded
+	// disjunct (default 12); past it the verdict is NotWithinBudget.
+	MaxBodyAtoms int
+}
+
+func (o *Options) defaults() {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.MaxDisjuncts == 0 {
+		o.MaxDisjuncts = 48
+	}
+	if o.MaxBodyAtoms == 0 {
+		o.MaxBodyAtoms = 12
+	}
+}
+
+// Verdict is the three-valued outcome of the analysis for one
+// predicate. Only Bounded licenses a rewrite; the other two differ in
+// honesty, not effect: NotWithinBudget means the procedure ran and
+// found no witness, Unknown means it never applied.
+type Verdict int
+
+const (
+	// Unknown: the predicate is outside the procedure's scope
+	// (mutual recursion, negated subgoals). Reason says why.
+	Unknown Verdict = iota
+	// NotWithinBudget: the unfolding ladder was built but no
+	// containment witness A_{k+1} ⊑ A_k appeared within the budgets.
+	// The predicate may still be bounded at a greater depth — or
+	// genuinely unbounded, which this verdict can never distinguish.
+	NotWithinBudget
+	// Bounded: A_{Depth+1} ⊑ A_{Depth} holds; Disjuncts is the
+	// equivalent non-recursive program for the predicate.
+	Bounded
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Bounded:
+		return "bounded"
+	case NotWithinBudget:
+		return "not-bounded-within-budget"
+	default:
+		return "unknown"
+	}
+}
+
+// Analysis is the per-predicate result.
+type Analysis struct {
+	// Pred is the analyzed self-recursive predicate.
+	Pred string
+	// Verdict is the three-valued outcome.
+	Verdict Verdict
+	// Depth is the witness unfolding depth for Bounded (A_{Depth+1} ⊑
+	// A_{Depth}), or the deepest level tried for NotWithinBudget.
+	Depth int
+	// Linear reports that every recursive rule has exactly one
+	// p-subgoal (piecewise-linear recursion); nonlinear rules multiply
+	// the ladder combinatorially.
+	Linear bool
+	// Reason explains Unknown and NotWithinBudget verdicts.
+	Reason string
+	// Disjuncts is the equivalent union of conjunctive queries when
+	// Verdict is Bounded: non-recursive rules for Pred whose
+	// evaluation yields exactly Pred's fixpoint.
+	Disjuncts []ast.Rule
+}
+
+// Result is the outcome of Rewrite.
+type Result struct {
+	// Program is the rewritten program: every Bounded predicate's
+	// rules replaced by its Disjuncts. Nil when Rewrite returned
+	// ErrNotBounded.
+	Program *ast.Program
+	// Analyses holds one entry per self-recursive predicate analyzed,
+	// sorted by predicate name, whatever the verdict — Rewrite returns
+	// it alongside ErrNotBounded so callers can report why the
+	// rewrite did not apply.
+	Analyses []Analysis
+	// Eliminated lists the predicates whose recursion was compiled
+	// away, sorted.
+	Eliminated []string
+}
+
+// Analyze runs the boundedness analysis on every self-recursive
+// predicate of the program and returns the per-predicate verdicts
+// sorted by predicate name. It never fails: out-of-scope predicates
+// get verdict Unknown.
+func Analyze(p *ast.Program, opts Options) []Analysis {
+	opts.defaults()
+	idb := p.IDB()
+	deps := depGraph(p, idb)
+	var preds []string
+	for pred := range idb {
+		if selfRecursive(p, pred) {
+			preds = append(preds, pred)
+		}
+	}
+	sort.Strings(preds)
+	out := make([]Analysis, 0, len(preds))
+	for _, pred := range preds {
+		out = append(out, analyzePred(p, pred, idb, deps, opts))
+	}
+	return out
+}
+
+// Rewrite replaces every provably bounded predicate's rules with the
+// equivalent non-recursive union of conjunctive queries and returns
+// the rewritten program (the input is never mutated). When no
+// predicate is bounded it returns an error wrapping ErrNotBounded —
+// with the Result still carrying the per-predicate Analyses, so the
+// caller can report the honest verdicts.
+func Rewrite(p *ast.Program, opts Options) (*Result, error) {
+	res := &Result{Analyses: Analyze(p, opts)}
+	byPred := map[string][]ast.Rule{}
+	for _, a := range res.Analyses {
+		// A predicate with no exit rules is bounded with an EMPTY
+		// witness UCQ, but rewriting it would delete its last rule and
+		// flip it from IDB to EDB classification — unshadowing any
+		// same-named facts in the database and changing answers. Leave
+		// it alone; the verdict still reaches lint.
+		if a.Verdict == Bounded && len(a.Disjuncts) > 0 {
+			res.Eliminated = append(res.Eliminated, a.Pred)
+			byPred[a.Pred] = a.Disjuncts
+		}
+	}
+	if len(byPred) == 0 {
+		if len(res.Analyses) == 0 {
+			return res, fmt.Errorf("%w: no self-recursive predicates", ErrNotBounded)
+		}
+		return res, fmt.Errorf("%w: %s", ErrNotBounded, summarize(res.Analyses))
+	}
+	out := &ast.Program{Query: p.Query}
+	if p.Goal != nil {
+		out.Goal = append([]ast.Term(nil), p.Goal...)
+	}
+	// Splice each bounded predicate's UCQ where its first rule stood;
+	// its remaining rules are dropped.
+	done := map[string]bool{}
+	for _, r := range p.Rules {
+		disj, bounded := byPred[r.Head.Pred]
+		switch {
+		case !bounded:
+			out.Rules = append(out.Rules, r.Clone())
+		case !done[r.Head.Pred]:
+			done[r.Head.Pred] = true
+			for _, d := range disj {
+				out.Rules = append(out.Rules, d.Clone())
+			}
+		}
+	}
+	res.Program = out
+	return res, nil
+}
+
+// summarize compresses the non-bounded verdicts into one error detail.
+func summarize(as []Analysis) string {
+	s := ""
+	for i, a := range as {
+		if i > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("%s: %s (%s)", a.Pred, a.Verdict, a.Reason)
+	}
+	return s
+}
+
+// selfRecursive reports whether some rule for pred has pred itself as
+// a positive subgoal.
+func selfRecursive(p *ast.Program, pred string) bool {
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			continue
+		}
+		for _, a := range r.Pos {
+			if a.Pred == pred {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// depGraph returns the positive IDB dependency edges: head predicate →
+// IDB predicates in its rules' positive bodies. Negated subgoals are
+// EDB-only by Validate, so they add no edges.
+func depGraph(p *ast.Program, idb map[string]bool) map[string][]string {
+	deps := map[string][]string{}
+	for _, r := range p.Rules {
+		for _, a := range r.Pos {
+			if idb[a.Pred] {
+				deps[r.Head.Pred] = append(deps[r.Head.Pred], a.Pred)
+			}
+		}
+	}
+	return deps
+}
+
+// reaches reports whether `to` is reachable from `from` along deps
+// edges (one or more steps).
+func reaches(deps map[string][]string, from, to string) bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), deps[from]...)
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if q == to {
+			return true
+		}
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		stack = append(stack, deps[q]...)
+	}
+	return false
+}
+
+// analyzePred runs the scope checks, structural pre-checks, and the
+// unfolding ladder for one self-recursive predicate.
+func analyzePred(p *ast.Program, pred string, idb map[string]bool, deps map[string][]string, o Options) Analysis {
+	res := Analysis{Pred: pred, Linear: true}
+	var exit, rec []ast.Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			continue
+		}
+		if r.HasNeg() {
+			res.Reason = "rules carry negated subgoals, which the containment procedure does not cover"
+			return res
+		}
+		n := 0
+		for _, a := range r.Pos {
+			switch {
+			case a.Pred == pred:
+				n++
+			case idb[a.Pred] && reaches(deps, a.Pred, pred):
+				res.Reason = fmt.Sprintf("mutually recursive with %s; only self-recursion is analyzed", a.Pred)
+				return res
+			}
+		}
+		if n == 0 {
+			exit = append(exit, r.Clone())
+		} else {
+			rec = append(rec, r.Clone())
+			if n > 1 {
+				res.Linear = false
+			}
+		}
+	}
+
+	// Structural pre-check: project the ladder's growth before paying
+	// for expansion or containment. Each level has at most |exit| +
+	// Σ_r |A_k|^(p-subgoals of r) disjuncts; if depth 2 already
+	// overflows the budget for a nonlinear program, no containment
+	// call can ever run to completion.
+	if projected := projectGrowth(len(exit), rec, pred); projected > o.MaxDisjuncts {
+		res.Verdict = NotWithinBudget
+		res.Depth = 1
+		res.Reason = fmt.Sprintf("projected %d disjuncts at unfolding depth 2 exceeds the %d-disjunct budget", projected, o.MaxDisjuncts)
+		return res
+	}
+
+	prev := dedupe(exit, nil)
+	if len(prev) > o.MaxDisjuncts {
+		res.Verdict = NotWithinBudget
+		res.Depth = 1
+		res.Reason = fmt.Sprintf("%d exit disjuncts exceed the %d-disjunct budget", len(prev), o.MaxDisjuncts)
+		return res
+	}
+	fresh := 0
+	for k := 1; k <= o.MaxDepth; k++ {
+		next, grew, ok := unfoldLevel(pred, exit, rec, prev, &fresh, o)
+		if !ok {
+			res.Verdict = NotWithinBudget
+			res.Depth = k
+			res.Reason = fmt.Sprintf("unfolding depth %d exceeds the disjunct/body budget (%d disjuncts, %d atoms)", k+1, o.MaxDisjuncts, o.MaxBodyAtoms)
+			return res
+		}
+		// Syntactic fixpoint: the level added no new disjunct shape, so
+		// A_{k+1} ⊑ A_k holds with no containment search at all.
+		// Otherwise only the genuinely new disjuncts need the
+		// homomorphism test — the carried-over ones are contained in
+		// themselves.
+		if ucqContainedIn(grew, prev) {
+			if err := safeDisjuncts(prev); err != nil {
+				res.Reason = fmt.Sprintf("witness UCQ at depth %d is unsafe (%v)", k, err)
+				return res
+			}
+			res.Verdict = Bounded
+			res.Depth = k
+			res.Disjuncts = prev
+			return res
+		}
+		prev = next
+	}
+	res.Verdict = NotWithinBudget
+	res.Depth = o.MaxDepth
+	res.Reason = fmt.Sprintf("no containment witness up to unfolding depth %d", o.MaxDepth)
+	return res
+}
+
+// projectGrowth estimates |A_2| without expanding: exit disjuncts plus
+// one expansion per recursive rule and per way of choosing an exit
+// disjunct for each of its p-subgoals.
+func projectGrowth(exitN int, rec []ast.Rule, pred string) int {
+	total := exitN
+	for _, r := range rec {
+		ways := 1
+		for _, a := range r.Pos {
+			if a.Pred == pred {
+				ways *= exitN
+				if ways > 1<<16 {
+					return 1 << 16
+				}
+			}
+		}
+		total += ways
+		if total > 1<<16 {
+			return 1 << 16
+		}
+	}
+	return total
+}
+
+// unfoldLevel computes A_{k+1} from A_k (prev): the exit disjuncts
+// plus every resolution of a recursive rule against prev. It returns
+// the deduplicated next level, the disjuncts of that level that are
+// not already in prev (the only ones whose containment is in
+// question), and ok=false when a budget is exceeded.
+func unfoldLevel(pred string, exit, rec, prev []ast.Rule, fresh *int, o Options) (next, grew []ast.Rule, ok bool) {
+	keys := map[string]bool{}
+	next = dedupe(exit, keys)
+	prevKeys := map[string]bool{}
+	for _, d := range prev {
+		prevKeys[canonicalKey(d)] = true
+	}
+	for _, r := range rec {
+		var occ []int
+		for i, a := range r.Pos {
+			if a.Pred == pred {
+				occ = append(occ, i)
+			}
+		}
+		choice := make([]ast.Rule, len(occ))
+		var walk func(i int) bool
+		walk = func(i int) bool {
+			if i == len(occ) {
+				d, expanded := expand(r, occ, choice, fresh)
+				if !expanded {
+					return true // heads never unify; this combination derives nothing
+				}
+				if len(d.Pos) > o.MaxBodyAtoms {
+					return false
+				}
+				key := canonicalKey(d)
+				if keys[key] {
+					return true
+				}
+				keys[key] = true
+				next = append(next, d)
+				if !prevKeys[key] {
+					grew = append(grew, d)
+				}
+				return len(next) <= o.MaxDisjuncts
+			}
+			for _, c := range prev {
+				choice[i] = c
+				if !walk(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		if !walk(0) {
+			return nil, nil, false
+		}
+	}
+	return next, grew, true
+}
+
+// expand resolves rule r's p-subgoals (at body positions occ) against
+// the chosen disjuncts: each disjunct is renamed apart, its head
+// unified with the subgoal's arguments under one accumulated
+// substitution, and its body spliced in place of the subgoal.
+func expand(r ast.Rule, occ []int, choice []ast.Rule, fresh *int) (ast.Rule, bool) {
+	// '#' cannot appear in source identifiers, so suffixed names are
+	// disjoint from the rule's variables and from every other chosen
+	// disjunct's (the counter makes repeated choices distinct).
+	renamed := make([]ast.Rule, len(choice))
+	for i, d := range choice {
+		*fresh++
+		n := *fresh
+		renamed[i] = ast.RenameRule(d, func(v string) string { return fmt.Sprintf("%s#b%d", v, n) })
+	}
+	subst := map[string]ast.Term{}
+	for i, oi := range occ {
+		if !unifyInto(subst, r.Pos[oi].Args, renamed[i].Head.Args) {
+			return ast.Rule{}, false
+		}
+	}
+	out := ast.Rule{Head: substAtom(r.Head, subst), At: r.At}
+	ri := 0
+	for i, a := range r.Pos {
+		if ri < len(occ) && occ[ri] == i {
+			for _, pa := range renamed[ri].Pos {
+				out.Pos = append(out.Pos, substAtom(pa, subst))
+			}
+			for _, c := range renamed[ri].Cmp {
+				out.Cmp = append(out.Cmp, substCmp(c, subst))
+			}
+			ri++
+			continue
+		}
+		out.Pos = append(out.Pos, substAtom(a, subst))
+	}
+	for _, c := range r.Cmp {
+		out.Cmp = append(out.Cmp, substCmp(c, subst))
+	}
+	return out, true
+}
+
+// unifyInto unifies two argument lists under an accumulated
+// substitution, extending it in place. Like magic's unifyArgs this is
+// full syntactic unification over flat terms (disjunct heads may
+// repeat variables and hold constants), but threaded through one
+// growing map so several subgoals of the same rule unify consistently.
+func unifyInto(subst map[string]ast.Term, a, b []ast.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var walk func(t ast.Term) ast.Term
+	walk = func(t ast.Term) ast.Term {
+		for t.IsVar() {
+			next, ok := subst[t.Name]
+			if !ok {
+				return t
+			}
+			t = next
+		}
+		return t
+	}
+	for i := range a {
+		x, y := walk(a[i]), walk(b[i])
+		switch {
+		case x.IsVar() && y.IsVar() && x.Name == y.Name:
+		case y.IsVar():
+			// Prefer binding the disjunct-side variable so the rule's
+			// own names (head variables included) survive.
+			subst[y.Name] = x
+		case x.IsVar():
+			subst[x.Name] = y
+		case !x.Equal(y):
+			return false
+		}
+	}
+	// Flatten chains so substAtom can apply the map in one step.
+	for v := range subst {
+		subst[v] = walk(ast.V(v))
+	}
+	return true
+}
+
+func substTerm(t ast.Term, subst map[string]ast.Term) ast.Term {
+	if t.IsVar() {
+		if r, ok := subst[t.Name]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+func substAtom(a ast.Atom, subst map[string]ast.Term) ast.Atom {
+	out := ast.Atom{Pred: a.Pred, At: a.At, Args: make([]ast.Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = substTerm(t, subst)
+	}
+	return out
+}
+
+func substCmp(c ast.Cmp, subst map[string]ast.Term) ast.Cmp {
+	c.Left = substTerm(c.Left, subst)
+	c.Right = substTerm(c.Right, subst)
+	return c
+}
+
+// canonicalKey renames a rule's variables to V0, V1, ... in order of
+// first occurrence and prints it, so alphabetic variants map to one
+// key.
+func canonicalKey(r ast.Rule) string {
+	i := 0
+	seen := map[string]string{}
+	rr := ast.RenameRule(r, func(v string) string {
+		n, ok := seen[v]
+		if !ok {
+			n = fmt.Sprintf("V%d", i)
+			i++
+			seen[v] = n
+		}
+		return n
+	})
+	return rr.String()
+}
+
+// dedupe drops syntactic duplicates (modulo variable renaming),
+// recording canonical keys in keys when non-nil.
+func dedupe(rs []ast.Rule, keys map[string]bool) []ast.Rule {
+	if keys == nil {
+		keys = map[string]bool{}
+	}
+	out := make([]ast.Rule, 0, len(rs))
+	for _, r := range rs {
+		key := canonicalKey(r)
+		if keys[key] {
+			continue
+		}
+		keys[key] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// ucqContainedIn reports whether every disjunct of qs1 is contained in
+// some disjunct of qs2 — the Sagiv–Yannakakis criterion, decided
+// per-pair by Contained for pure CQs and by the sound (incomplete)
+// ContainedOrder when either side carries order atoms. Incompleteness
+// only ever costs a Bounded verdict, never soundness.
+func ucqContainedIn(qs1, qs2 []ast.Rule) bool {
+	for _, q1 := range qs1 {
+		found := false
+		for _, q2 := range qs2 {
+			var ok bool
+			var err error
+			if q1.HasCmp() || q2.HasCmp() {
+				ok, err = cqc.ContainedOrder(q1, q2)
+			} else {
+				ok, err = cqc.Contained(q1, q2)
+			}
+			if err == nil && ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// safeDisjuncts verifies every witness disjunct is range-restricted;
+// expansion preserves safety of safe inputs, so this is defensive.
+func safeDisjuncts(rs []ast.Rule) error {
+	for _, r := range rs {
+		if err := r.Safe(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

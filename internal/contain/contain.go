@@ -4,252 +4,45 @@
 // a union of conjunctive queries, and both directions of the
 // LOGSPACE reduction between containment and satisfiability stated as
 // Proposition 5.1 of the paper.
+//
+// The CQ-level procedures live in the dependency-light internal/cqc
+// core (so the boundedness analyzer under eval can use them without
+// importing the query-tree stack) and are re-exported here unchanged;
+// this package adds the program-level reductions, which need qtree.
 package contain
 
 import (
 	"fmt"
 
 	"repro/internal/ast"
-	"repro/internal/order"
+	"repro/internal/cqc"
 	"repro/internal/qtree"
-	"repro/internal/unify"
 )
 
 // CQ is a conjunctive query, represented as a single rule: the head
 // lists the distinguished variables, the body is a conjunction of
 // positive EDB atoms, negated EDB atoms, and order atoms.
-type CQ = ast.Rule
+type CQ = cqc.CQ
 
 // Contained reports whether q1 ⊑ q2 holds for conjunctive queries
-// without order atoms or negation, by searching for a containment
-// mapping: a homomorphism from q2's body into q1's body that maps
-// q2's head to q1's head.
-func Contained(q1, q2 CQ) (bool, error) {
-	if q1.HasCmp() || q2.HasCmp() || q1.HasNeg() || q2.HasNeg() {
-		return false, fmt.Errorf("contain: Contained handles pure CQs; use ContainedOrder for order atoms")
-	}
-	return containmentMapping(q1, q2, nil), nil
-}
-
-// containmentMapping searches for a homomorphism from q2 into q1
-// (body atoms into body atoms, head onto head). When check is non-nil
-// it is invoked per candidate mapping and must approve it.
-func containmentMapping(q1, q2 CQ, check func(unify.Subst) bool) bool {
-	// Rename q2 apart from q1.
-	var fr ast.Freshener
-	q2 = ast.RenameRule(q2, fr.Next())
-	// The head must map exactly: seed the homomorphism search with the
-	// head match.
-	seed, ok := unify.Match(q2.Head, q1.Head, nil)
-	if !ok {
-		return false
-	}
-	found := false
-	var rec func(i int, s unify.Subst) bool
-	rec = func(i int, s unify.Subst) bool {
-		if i == len(q2.Pos) {
-			if check == nil || check(s) {
-				found = true
-				return false // stop
-			}
-			return true
-		}
-		for _, d := range q1.Pos {
-			if next, ok := unify.Match(q2.Pos[i], d, s); ok {
-				if !rec(i+1, next) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	rec(0, seed)
-	return found
-}
+// without order atoms or negation; see cqc.Contained.
+func Contained(q1, q2 CQ) (bool, error) { return cqc.Contained(q1, q2) }
 
 // ContainedOrder reports whether q1 ⊑ q2 for CQs whose bodies may
-// carry order atoms (no negation). The test searches for a containment
-// mapping h such that q1's order constraints imply h(q2's order
-// constraints). This criterion is sound always, and complete whenever
-// a single mapping suffices (in particular for q2 without order atoms,
-// and for the common case where q1's constraints pin a total order);
-// in general, completeness would require case analysis over the linear
-// extensions of q1's constraints [Klu88], which ContainedOrderComplete
-// provides.
-func ContainedOrder(q1, q2 CQ) (bool, error) {
-	if q1.HasNeg() || q2.HasNeg() {
-		return false, fmt.Errorf("contain: negation is not supported in CQ containment")
-	}
-	if !order.NewSet(q1.Cmp...).Satisfiable() {
-		return true, nil // the empty query is contained in anything
-	}
-	return containedOrderMapping(q1, q2), nil
-}
-
-// containedOrderMapping searches for a containment mapping h from q2
-// into q1 with q1.Cmp ⊨ h(q2.Cmp).
-func containedOrderMapping(q1, q2 CQ) bool {
-	var fr ast.Freshener
-	ren := fr.Next()
-	q2r := ast.RenameRule(q2, ren)
-	seed, ok := unify.Match(q2r.Head, q1.Head, nil)
-	if !ok {
-		return false
-	}
-	q1Set := order.NewSet(q1.Cmp...)
-	found := false
-	var rec func(i int, s unify.Subst) bool
-	rec = func(i int, s unify.Subst) bool {
-		if i == len(q2r.Pos) {
-			for _, c := range q2r.Cmp {
-				if !q1Set.Implies(s.ApplyCmp(c)) {
-					return true // keep searching
-				}
-			}
-			found = true
-			return false
-		}
-		for _, d := range q1.Pos {
-			if next, ok := unify.Match(q2r.Pos[i], d, s); ok {
-				if !rec(i+1, next) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	rec(0, seed)
-	return found
-}
+// carry order atoms (no negation), soundly; see cqc.ContainedOrder.
+func ContainedOrder(q1, q2 CQ) (bool, error) { return cqc.ContainedOrder(q1, q2) }
 
 // ContainedOrderComplete decides q1 ⊑ q2 for CQs with order atoms (no
-// negation) completely, via Klug's linearization argument: q1 ⊑ q2
-// iff for every total preorder π of q1's terms consistent with q1's
-// order atoms, there is a containment mapping h with π ⊨ h(q2.Cmp).
-// The enumeration is exponential in the number of q1's terms; use for
-// small queries.
+// negation) completely via Klug's linearization argument; see
+// cqc.ContainedOrderComplete.
 func ContainedOrderComplete(q1, q2 CQ) (bool, error) {
-	if q1.HasNeg() || q2.HasNeg() {
-		return false, fmt.Errorf("contain: negation is not supported in CQ containment")
-	}
-	q1Set := order.NewSet(q1.Cmp...)
-	if !q1Set.Satisfiable() {
-		return true, nil
-	}
-	terms := ruleTerms(q1)
-	all := true
-	enumerateLinearizations(terms, q1Set, func(lin *order.Set) bool {
-		// For this linearization, is there a mapping?
-		q1lin := q1.Clone()
-		q1lin.Cmp = lin.Atoms()
-		if !containedOrderMapping(q1lin, q2) {
-			all = false
-			return false
-		}
-		return true
-	})
-	return all, nil
-}
-
-// ruleTerms collects the distinct terms (variables and constants) of
-// a rule's positive atoms, order atoms, and head.
-func ruleTerms(r ast.Rule) []ast.Term {
-	seen := map[string]bool{}
-	var out []ast.Term
-	add := func(t ast.Term) {
-		if !seen[t.Key()] {
-			seen[t.Key()] = true
-			out = append(out, t)
-		}
-	}
-	for _, t := range r.Head.Args {
-		add(t)
-	}
-	for _, a := range r.Pos {
-		for _, t := range a.Args {
-			add(t)
-		}
-	}
-	for _, c := range r.Cmp {
-		add(c.Left)
-		add(c.Right)
-	}
-	return out
-}
-
-// enumerateLinearizations enumerates the total preorders of the given
-// terms consistent with the constraint set, invoking fn with each
-// (expressed as a constraint set pinning the full order). fn returns
-// false to stop early.
-func enumerateLinearizations(terms []ast.Term, base *order.Set, fn func(*order.Set) bool) {
-	// Build orderings recursively: maintain a sequence of equivalence
-	// groups; each new term either joins an existing group or is
-	// inserted between/around groups.
-	var rec func(i int, groups [][]ast.Term) bool
-	rec = func(i int, groups [][]ast.Term) bool {
-		if i == len(terms) {
-			lin := base.Clone()
-			// Express the preorder as constraints.
-			for gi, g := range groups {
-				for k := 1; k < len(g); k++ {
-					lin.Add(ast.NewCmp(g[0], ast.EQ, g[k]))
-				}
-				if gi+1 < len(groups) {
-					lin.Add(ast.NewCmp(g[0], ast.LT, groups[gi+1][0]))
-				}
-			}
-			if !lin.Satisfiable() {
-				return true // inconsistent with base; skip
-			}
-			return fn(lin)
-		}
-		t := terms[i]
-		// Join an existing group.
-		for gi := range groups {
-			ng := make([][]ast.Term, len(groups))
-			copy(ng, groups)
-			ng[gi] = append(append([]ast.Term{}, groups[gi]...), t)
-			if !rec(i+1, ng) {
-				return false
-			}
-		}
-		// Insert as a new group at every gap.
-		for pos := 0; pos <= len(groups); pos++ {
-			ng := make([][]ast.Term, 0, len(groups)+1)
-			ng = append(ng, groups[:pos]...)
-			ng = append(ng, []ast.Term{t})
-			ng = append(ng, groups[pos:]...)
-			if !rec(i+1, ng) {
-				return false
-			}
-		}
-		return true
-	}
-	rec(0, nil)
+	return cqc.ContainedOrderComplete(q1, q2)
 }
 
 // UCQContained reports whether the union of CQs qs1 is contained in
-// the union qs2 (pure CQs): by the Sagiv–Yannakakis theorem this holds
-// iff every disjunct of qs1 is contained in some disjunct of qs2.
-func UCQContained(qs1, qs2 []CQ) (bool, error) {
-	for _, q1 := range qs1 {
-		ok := false
-		for _, q2 := range qs2 {
-			c, err := Contained(q1, q2)
-			if err != nil {
-				return false, err
-			}
-			if c {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false, nil
-		}
-	}
-	return true, nil
-}
+// the union qs2 (pure CQs) by the Sagiv–Yannakakis theorem; see
+// cqc.UCQContained.
+func UCQContained(qs1, qs2 []CQ) (bool, error) { return cqc.UCQContained(qs1, qs2) }
 
 // goalPred is the fresh EDB predicate introduced by the Prop 5.1
 // reduction.

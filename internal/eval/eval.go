@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ast"
+	"repro/internal/bounded"
 	"repro/internal/magic"
 	"repro/internal/shard"
 )
@@ -90,13 +91,46 @@ type Stats struct {
 	// program, database, and options, but excluded from Equal because
 	// it is a footprint diagnostic, not evaluation semantics.
 	PeakMaterialized int64
+	// ElimApplied reports whether the query was evaluated through the
+	// bounded-recursion elimination rewrite (Query/QueryCtx with
+	// Options.Elim not off and at least one predicate proven bounded,
+	// its fixpoint compiled into a flat union of conjunctive queries).
+	// Excluded from Equal like MagicApplied: the flattened program
+	// legitimately differs from the fixpoint in every counter while
+	// the answers stay identical.
+	ElimApplied bool
+	// ElimChecked counts the self-recursive predicates the boundedness
+	// analyzer examined before evaluation (zero when Options.Elim is
+	// off or the program has no self-recursion). An analysis
+	// diagnostic, excluded from Equal for the same reason as
+	// ElimApplied.
+	ElimChecked int
+}
+
+// statsEqualExcluded names the Stats fields deliberately NOT compared
+// by Equal: planning, rewrite, and footprint diagnostics that
+// legitimately differ across engines, policies, and rewrites while the
+// answers stay identical. The statsequal analyzer
+// (internal/analyzers/statsequal, run via go vet -vettool in CI) fails
+// the build when a new Stats field is neither compared in Equal nor
+// listed here — adding a field means making that choice explicitly.
+var statsEqualExcluded = map[string]bool{
+	"PlanNanos":        true,
+	"PlansCompiled":    true,
+	"AdaptiveSkips":    true,
+	"AdaptiveReorders": true,
+	"MagicApplied":     true,
+	"ShardExchanged":   true,
+	"PeakMaterialized": true,
+	"ElimApplied":      true,
+	"ElimChecked":      true,
 }
 
 // Equal reports whether two Stats are identical, including the
 // per-round delta sizes. Stats stopped being comparable with == when
-// RoundDeltas (a slice) was added; use this instead. The planning
-// diagnostics (PlanNanos, PlansCompiled, AdaptiveSkips,
-// AdaptiveReorders) are deliberately excluded — see their field docs.
+// RoundDeltas (a slice) was added; use this instead. The diagnostics
+// listed in statsEqualExcluded are deliberately not compared — see
+// their field docs.
 func (s *Stats) Equal(o *Stats) bool {
 	if s == nil || o == nil {
 		return s == o
@@ -149,6 +183,41 @@ func ParseMagicMode(s string) (MagicMode, error) {
 		return m, nil
 	}
 	return "", fmt.Errorf("eval: unknown magic mode %q (want auto, on, or off)", s)
+}
+
+// ElimMode controls whether Query/QueryCtx run the boundedness
+// analysis (internal/bounded) and compile provably bounded recursion
+// into flat unions of conjunctive queries before evaluation. Like the
+// magic rewrite, elimination only ever changes how answers are
+// computed, never the answers: when no predicate is provably bounded
+// (the honest outcome for genuine recursion such as transitive
+// closure), evaluation silently falls back to the fixpoint.
+type ElimMode string
+
+const (
+	// ElimAuto (the zero value) analyzes every self-recursive
+	// predicate under the default budgets and rewrites the bounded
+	// ones. The structural pre-checks make this near-free on programs
+	// with no self-recursion.
+	ElimAuto ElimMode = "auto"
+	// ElimOn behaves like ElimAuto — elimination still falls back when
+	// nothing is provably bounded — but states the intent explicitly.
+	ElimOn ElimMode = "on"
+	// ElimOff disables the analysis; recursion is always evaluated as
+	// a fixpoint.
+	ElimOff ElimMode = "off"
+)
+
+// ParseElimMode parses an elimination mode name; the empty string
+// means ElimAuto (the zero value of Options.Elim).
+func ParseElimMode(s string) (ElimMode, error) {
+	switch m := ElimMode(s); m {
+	case "":
+		return ElimAuto, nil
+	case ElimAuto, ElimOn, ElimOff:
+		return m, nil
+	}
+	return "", fmt.Errorf("eval: unknown elim mode %q (want auto, on, or off)", s)
 }
 
 // JoinOrderPolicy selects how the compiled-plan engine orders the
@@ -224,6 +293,13 @@ type Options struct {
 	// contract is the full IDB of the given program, which demand
 	// pruning deliberately does not compute.
 	Magic MagicMode
+	// Elim controls bounded-recursion elimination in Query/QueryCtx
+	// (the empty string means ElimAuto): predicates whose recursion is
+	// statically provably bounded are compiled into flat unions of
+	// conjunctive queries before evaluation, ahead of the magic
+	// rewrite. EvalCtx ignores it for the same reason it ignores
+	// Magic: its contract is the given program, evaluated as written.
+	Elim ElimMode
 	// Stream enables the streaming unfolding rewrite in Query/QueryCtx:
 	// non-recursive IDB predicates consumed by exactly one subgoal are
 	// inlined into their consumer, so their tuples are never
@@ -272,6 +348,9 @@ func (o Options) validatePolicy() error {
 	if _, err := ParseMagicMode(string(o.Magic)); err != nil {
 		return err
 	}
+	if _, err := ParseElimMode(string(o.Elim)); err != nil {
+		return err
+	}
 	if o.Shards < 0 {
 		return fmt.Errorf("eval: negative shard count %d", o.Shards)
 	}
@@ -293,6 +372,14 @@ func (o Options) effectiveMagic() MagicMode {
 		return MagicAuto
 	}
 	return o.Magic
+}
+
+// effectiveElim resolves the empty string to ElimAuto.
+func (o Options) effectiveElim() ElimMode {
+	if o.Elim == "" {
+		return ElimAuto
+	}
+	return o.Elim
 }
 
 // effectiveWorkers resolves Options.Workers to a concrete pool size.
@@ -986,14 +1073,41 @@ func QueryWith(p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
 // goal (constants equal at their positions, repeated goal variables
 // equal across theirs), so the two paths are interchangeable
 // answer-wise; Stats.MagicApplied records which one ran.
+//
+// Under Options.Elim auto/on the boundedness analysis runs first:
+// self-recursive predicates proven bounded (internal/bounded) are
+// compiled into flat unions of conjunctive queries, and the magic and
+// streaming rewrites then work on the flattened program — elimination
+// is what makes a bounded predicate eligible for streaming unfolding
+// and gives the magic rewrite non-recursive rules to prune. When
+// nothing is provably bounded (ErrNotBounded), the fixpoint is
+// evaluated as written; Stats.ElimApplied/ElimChecked record the
+// outcome.
 func QueryCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) ([]Tuple, *Stats, error) {
 	if err := opts.validatePolicy(); err != nil {
 		return nil, nil, err
 	}
 	prog := p
+	elimApplied := false
+	elimChecked := 0
+	if opts.effectiveElim() != ElimOff && len(p.Rules) > 0 {
+		res, err := bounded.Rewrite(p, bounded.Options{})
+		if res != nil {
+			elimChecked = len(res.Analyses)
+		}
+		switch {
+		case err == nil:
+			prog = res.Program
+			elimApplied = true
+		case errors.Is(err, bounded.ErrNotBounded):
+			// Nothing provably bounded: evaluate the fixpoint as written.
+		default:
+			return nil, nil, err
+		}
+	}
 	magicApplied := false
 	if opts.effectiveMagic() != MagicOff && len(p.Goal) > 0 {
-		res, err := magic.Rewrite(p)
+		res, err := magic.Rewrite(prog)
 		switch {
 		case err == nil:
 			prog = res.Program
@@ -1012,6 +1126,8 @@ func QueryCtx(ctx context.Context, p *ast.Program, edb *DB, opts Options) ([]Tup
 		return nil, nil, err
 	}
 	stats.MagicApplied = magicApplied
+	stats.ElimApplied = elimApplied
+	stats.ElimChecked = elimChecked
 	r := idb.Lookup(prog.Query)
 	if r == nil {
 		return nil, stats, nil

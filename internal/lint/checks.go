@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/bounded"
 	"repro/internal/contain"
 	"repro/internal/emptiness"
 	"repro/internal/magic"
@@ -407,6 +408,51 @@ func (l *linter) goalDirected() {
 	l.add(Finding{Check: "L6", ID: "bound-query-no-magic", Severity: Warning,
 		Message: fmt.Sprintf("query %s binds %d of %d argument(s) (adornment %s) but is evaluated without the magic-sets rewrite; bottom-up evaluation materializes the full %s relation to answer a point query — enable goal-directed evaluation (sqoc -magic auto, sqod's \"magic\" knob, or eval Options.Magic)",
 			goal, len(pat.Bound()), len(pat), adorned, l.p.Query)})
+}
+
+// boundedRecursion is L7: bounded-recursion advisories. The
+// boundedness analyzer's verdict per self-recursive predicate is
+// three-valued, and each value gets its own finding:
+//
+//   - bounded: the k-fold unfolding is contained in the (k-1)-fold
+//     unfolding, so the fixpoint is equivalent to a flat union of
+//     conjunctive queries. A Warning cites the witness depth and
+//     disjunct count — unless the caller declared elimination enabled
+//     (eval Elim mode "auto" or "on"), in which case the evaluator
+//     compiles the recursion away and there is nothing to advise.
+//   - not-bounded-within-budget: the unfolding ladder ran to its
+//     depth/size budget without a containment witness. An Info, so a
+//     genuinely recursive program (transitive closure) is never
+//     misreported as a defect but the exhausted budget stays visible.
+//   - unknown: the predicate is outside the procedure's scope (mutual
+//     recursion, negated subgoals). An Info citing the reason.
+func (l *linter) boundedRecursion() {
+	ruleAt := func(pred string) ast.Pos {
+		for _, r := range l.p.Rules {
+			if r.Head.Pred == pred {
+				return r.At
+			}
+		}
+		return ast.Pos{}
+	}
+	for _, a := range bounded.Analyze(l.p, bounded.Options{}) {
+		switch a.Verdict {
+		case bounded.Bounded:
+			if l.opts.ElimEnabled {
+				continue
+			}
+			l.addAt("L7", "bounded-recursion", Warning, ruleAt(a.Pred),
+				fmt.Sprintf("bounded recursive predicate %s — recursion is eliminable: the %d-fold unfolding adds nothing, so the fixpoint equals a union of %d conjunctive queries; enable elimination (sqoc -elim auto, sqod's \"elim\" knob, or eval Options.Elim) to evaluate it as flat joins",
+					a.Pred, a.Depth, len(a.Disjuncts)))
+		case bounded.NotWithinBudget:
+			l.addAt("L7", "boundedness-budget", Info, ruleAt(a.Pred),
+				fmt.Sprintf("recursion of %s is not provably bounded within budget (%s); the fixpoint is evaluated as written",
+					a.Pred, a.Reason))
+		default:
+			l.addAt("L7", "boundedness-unknown", Info, ruleAt(a.Pred),
+				fmt.Sprintf("boundedness of %s is unknown: %s", a.Pred, a.Reason))
+		}
+	}
 }
 
 // singletonVars returns, in first-occurrence order, the variables that

@@ -21,6 +21,12 @@
 //     query like '?- path(a, Y).') evaluated without the magic-sets
 //     rewrite materializes the whole relation; the check cites the
 //     goal's adornment.
+//   - L7 bounded-recursion: a self-recursive predicate whose recursion
+//     is provably bounded is eliminable — its fixpoint equals a flat
+//     union of conjunctive queries; the check cites the witness
+//     unfolding depth. The verdict is three-valued: bounded (Warning,
+//     unless the caller evaluates with elimination enabled),
+//     not-bounded-within-budget and unknown (both Info).
 //
 // Every semantic verdict the linter relies on is three-valued; budget
 // exhaustion surfaces as an explicit Info finding, never as a false
@@ -88,7 +94,7 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// Finding is one diagnostic: a check family (L1..L5), a stable rule
+// Finding is one diagnostic: a check family (L1..L7), a stable rule
 // identifier, a severity, a source position, and a message.
 type Finding struct {
 	Check    string   `json:"check"`
@@ -108,7 +114,7 @@ type Report struct {
 	Errors   int       `json:"errors"`
 	Warnings int       `json:"warnings"`
 	Infos    int       `json:"infos"`
-	// Timings records wall-clock time per check family (L1..L5); it is
+	// Timings records wall-clock time per check family (L1..L7); it is
 	// excluded from JSON so renderings stay deterministic.
 	Timings map[string]time.Duration `json:"-"`
 }
@@ -134,6 +140,12 @@ type Options struct {
 	// lint runs leave it false — a source file alone says nothing
 	// about how it will be evaluated.
 	MagicEnabled bool
+	// ElimEnabled declares that the caller evaluates with
+	// bounded-recursion elimination enabled (eval Elim mode "auto" or
+	// "on"); it suppresses the L7 bounded-recursion advisory the same
+	// way MagicEnabled suppresses L6. The negative-verdict Info
+	// findings of L7 are emitted regardless.
+	ElimEnabled bool
 }
 
 func (o *Options) defaults() {
@@ -174,6 +186,7 @@ func Run(ctx context.Context, p *ast.Program, ics []ast.IC, facts []ast.Atom, op
 		l.timed("L2", func() { l.emptyAndDead() })
 		l.timed("L3", func() { l.subsumedRules() })
 		l.timed("L6", func() { l.goalDirected() })
+		l.timed("L7", func() { l.boundedRecursion() })
 	}
 	if ctx.Err() != nil {
 		l.add(Finding{Check: "lint", ID: "aborted", Severity: Info,

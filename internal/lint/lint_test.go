@@ -199,12 +199,76 @@ p(X) :- a(Y, Y).
 
 func TestCleanProgramNoFindings(t *testing.T) {
 	rep := runOn(t, `
+p(X, Y) :- a(X, Y), b(Y).
+?- p.
+`, `:- a(X, Y), Y <= X.`, `a(1, 2). b(2).`)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean program: want no findings, got %v", rep.Findings)
+	}
+}
+
+// A self-recursive program that is not provably bounded gets exactly
+// one advisory: the honest L7 budget note, at Info severity — never a
+// Warning or Error, so recursion is not misreported as a defect.
+func TestRecursiveProgramOnlyBoundednessInfo(t *testing.T) {
+	rep := runOn(t, `
 p(X, Y) :- a(X, Y).
 p(X, Y) :- a(X, Z), p(Z, Y).
 ?- p.
 `, `:- a(X, Y), Y <= X.`, `a(1, 2).`)
-	if len(rep.Findings) != 0 {
-		t.Fatalf("clean program: want no findings, got %v", rep.Findings)
+	if len(rep.Findings) != 1 || rep.Findings[0].ID != "boundedness-budget" || rep.Findings[0].Severity != Info {
+		t.Fatalf("want exactly the L7 boundedness-budget info, got %v", rep.Findings)
+	}
+	if rep.HasErrors() {
+		t.Error("boundedness advisory must not be an error")
+	}
+}
+
+// TestBoundedRecursionFindings drives L7's three verdicts and the
+// ElimEnabled suppression.
+func TestBoundedRecursionFindings(t *testing.T) {
+	boundedSrc := `
+buys(X, Y) :- likes(X, Y).
+buys(X, Y) :- trendy(X), buys(Z, Y).
+?- buys.
+`
+	rep := runOn(t, boundedSrc, ``, ``)
+	ids := findingIDs(rep)
+	if ids["bounded-recursion"] != 1 {
+		t.Fatalf("want bounded-recursion warning, got %v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.ID == "bounded-recursion" {
+			if f.Severity != Warning {
+				t.Errorf("bounded-recursion severity = %v, want warning", f.Severity)
+			}
+			if !strings.Contains(f.Message, "2-fold unfolding") {
+				t.Errorf("message should cite the witness depth: %q", f.Message)
+			}
+		}
+	}
+
+	// Declaring elimination enabled suppresses the advisory.
+	unit, err := parser.Parse(boundedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = Run(context.Background(), unit.Program, nil, nil, Options{ElimEnabled: true})
+	if n := findingIDs(rep)["bounded-recursion"]; n != 0 {
+		t.Fatalf("ElimEnabled should suppress bounded-recursion, got %v", rep.Findings)
+	}
+
+	// Out-of-scope recursion (a self-recursive predicate entangled in
+	// mutual recursion) is Unknown.
+	rep = runOn(t, `
+p(X) :- base(X).
+p(X) :- link(X, Y), p(Y).
+p(X) :- q(X).
+q(X) :- hop(X, Y), p(Y).
+?- p.
+`, ``, ``)
+	if findingIDs(rep)["boundedness-unknown"] != 1 {
+		t.Fatalf("want boundedness-unknown info, got %v", rep.Findings)
 	}
 }
 

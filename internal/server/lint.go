@@ -80,9 +80,11 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	// The server's query path applies the magic-sets rewrite by
-	// default, so the L6 bound-query advisory does not apply here.
-	rep := sqo.Lint(ctx, prog, ics, facts, sqo.LintOptions{MagicEnabled: true})
+	// The server's query path applies the magic-sets and
+	// bounded-recursion-elimination rewrites by default, so the L6
+	// bound-query and L7 bounded-recursion advisories do not apply
+	// here.
+	rep := sqo.Lint(ctx, prog, ics, facts, sqo.LintOptions{MagicEnabled: true, ElimEnabled: true})
 	s.metrics.LintRuns.Add(1)
 	s.metrics.LintFindings.Add(int64(len(rep.Findings)))
 	writeJSON(w, http.StatusOK, lintResponse{
@@ -105,7 +107,7 @@ func (s *Server) lintDiagnostics(ctx context.Context, programSrc, icsSrc string)
 	if err != nil {
 		return nil
 	}
-	rep := sqo.Lint(ctx, prog, ics, nil, sqo.LintOptions{MagicEnabled: true})
+	rep := sqo.Lint(ctx, prog, ics, nil, sqo.LintOptions{MagicEnabled: true, ElimEnabled: true})
 	s.metrics.LintRuns.Add(1)
 	s.metrics.LintFindings.Add(int64(len(rep.Findings)))
 	if len(rep.Findings) == 0 {

@@ -44,6 +44,11 @@ type Metrics struct {
 	// the magic-sets demand rewrite (goal-directed point queries).
 	EvalMagic atomic.Int64
 
+	// EvalElim counts completed query evaluations that went through
+	// bounded-recursion elimination (a provably bounded fixpoint
+	// compiled into flat joins).
+	EvalElim atomic.Int64
+
 	// Request outcomes.
 	QueryTimeouts atomic.Int64
 	QueryCancels  atomic.Int64
@@ -176,6 +181,7 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "sqod_eval_policy_total{policy=\"adaptive\"} %d\n", m.EvalPolicyAdaptive.Load())
 
 	counter("sqod_eval_magic_total", "Queries evaluated via the magic-sets demand rewrite.", m.EvalMagic.Load())
+	counter("sqod_eval_elim_total", "Queries evaluated via bounded-recursion elimination.", m.EvalElim.Load())
 
 	counter("sqod_query_timeouts_total", "Queries stopped by deadline expiry.", m.QueryTimeouts.Load())
 	counter("sqod_query_cancels_total", "Queries stopped by client cancellation.", m.QueryCancels.Load())

@@ -545,6 +545,12 @@ type queryRequest struct {
 	// binds an argument), "on", or "off". Answers are identical in
 	// every mode; only the portion of the fixpoint computed differs.
 	Magic string `json:"magic,omitempty"`
+	// Elim controls bounded-recursion elimination: "auto" (the default
+	// — compile provably bounded fixpoints into flat joins), "on", or
+	// "off". Answers are identical in every mode; only the evaluation
+	// strategy differs. The boundedness verdict is cached alongside
+	// the rewrite cache, keyed by program and goal.
+	Elim string `json:"elim,omitempty"`
 }
 
 type queryStats struct {
@@ -565,7 +571,11 @@ type queryResponse struct {
 	// Magic reports whether this evaluation went through the
 	// magic-sets demand rewrite (false for unbound or absent goals,
 	// magic "off", or rewrite fallback).
-	Magic bool       `json:"magic"`
+	Magic bool `json:"magic"`
+	// Elim reports whether this evaluation went through the
+	// bounded-recursion elimination rewrite (false when no predicate
+	// is provably bounded, or elim "off").
+	Elim  bool       `json:"elim"`
 	Stats queryStats `json:"stats"`
 	// RoundDeltas is present only when the request set
 	// include_round_deltas: element i maps relation → tuples newly
@@ -596,6 +606,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		policy = p
 	}
 	magicMode, err := sqo.ParseMagicMode(req.Magic)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	elimMode, err := sqo.ParseElimMode(req.Elim)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
@@ -678,11 +693,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		prog = p
 	}
 
+	// Pre-apply bounded-recursion elimination through the rewrite
+	// cache: the boundedness analysis is pure static work keyed by the
+	// (possibly optimized) program and its goal, so concurrent
+	// identical queries share one analysis and repeats hit the LRU. A
+	// negative verdict is cached too, as an entry with a nil Program —
+	// ErrNotBounded is an outcome here, not an error.
+	elimApplied := false
+	if elimMode != sqo.ElimOff {
+		key := "elim\x00" + CacheKey(prog, nil, sqo.Options{})
+		res, _, err := s.cache.GetOrCompute(ctx, key, func() (*sqo.Result, error) {
+			rewritten, err := sqo.EliminateRecursion(prog)
+			if errors.Is(err, sqo.ErrNotBounded) {
+				return &sqo.Result{}, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &sqo.Result{Program: rewritten, Satisfiable: true}, nil
+		})
+		if err != nil {
+			if ctxErr := classifyCtxErr(err); ctxErr != nil {
+				s.writeRequestError(w, ctxErr)
+				return
+			}
+			writeError(w, http.StatusUnprocessableEntity, "eval_error", "%v", err)
+			return
+		}
+		if res.Program != nil {
+			prog = res.Program
+			elimApplied = true
+		}
+	}
+
 	evalOpts := sqo.DefaultEvalOptions()
 	evalOpts.Workers = s.cfg.Workers
 	evalOpts.MaxTuples = s.cfg.MaxTuples
 	evalOpts.Policy = policy
 	evalOpts.Magic = magicMode
+	// Elimination already ran (or was declined) above; keep QueryCtx
+	// from re-running the analysis per request.
+	evalOpts.Elim = sqo.ElimOff
 	if req.Workers > 0 {
 		evalOpts.Workers = req.Workers
 	}
@@ -711,6 +762,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if stats.MagicApplied {
 		s.metrics.EvalMagic.Add(1)
 	}
+	if elimApplied {
+		s.metrics.EvalElim.Add(1)
+	}
 
 	answers := make([]string, len(tuples))
 	for i, t := range tuples {
@@ -726,6 +780,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CacheHit:    cacheHit,
 		JoinOrder:   string(policy),
 		Magic:       stats.MagicApplied,
+		Elim:        elimApplied,
 		Stats: queryStats{
 			Rounds:        stats.Iterations,
 			TuplesDerived: stats.TuplesDerived,

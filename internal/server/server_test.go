@@ -157,8 +157,11 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("optimized and unoptimized answers diverge: %v vs %v", r1.Answers, r3.Answers)
 	}
 
-	if n := s.Cache().Len(); n != 1 {
-		t.Fatalf("cache entries = %d, want 1", n)
+	// Three entries: the Levy-Sagiv rewrite, the elim verdict for the
+	// optimized program, and the elim verdict for the raw program the
+	// unoptimized query evaluated.
+	if n := s.Cache().Len(); n != 3 {
+		t.Fatalf("cache entries = %d, want 3", n)
 	}
 	if hits := s.Metrics().CacheHits.Load(); hits == 0 {
 		t.Fatal("metrics report zero cache hits")
@@ -194,15 +197,17 @@ func TestServerConcurrentIdenticalRequests(t *testing.T) {
 			t.Fatalf("request %d: answers diverge: %v vs %v", i, responses[i].Answers, responses[0].Answers)
 		}
 	}
-	if got := s.Cache().Len(); got != 1 {
-		t.Fatalf("concurrent identical requests created %d cache entries, want 1", got)
+	// Two entries and two misses: one Levy-Sagiv rewrite plus one elim
+	// verdict, each computed exactly once across all n requests.
+	if got := s.Cache().Len(); got != 2 {
+		t.Fatalf("concurrent identical requests created %d cache entries, want 2", got)
 	}
 	st := s.Cache().Stats()
-	if st.Misses != 1 {
-		t.Fatalf("misses = %d, want exactly 1 rewrite", st.Misses)
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want exactly 2 (optimize + elim)", st.Misses)
 	}
-	if st.Hits != n-1 {
-		t.Fatalf("hits = %d, want %d", st.Hits, n-1)
+	if st.Hits != 2*n-2 {
+		t.Fatalf("hits = %d, want %d", st.Hits, 2*n-2)
 	}
 }
 
@@ -424,8 +429,8 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	text := string(body)
 	for _, want := range []string{
-		"sqod_cache_hits_total 1",
-		"sqod_cache_misses_total 1",
+		"sqod_cache_hits_total 2",
+		"sqod_cache_misses_total 2",
 		"sqod_datasets 1",
 		"sqod_eval_rounds_total",
 		"sqod_tuples_derived_total",

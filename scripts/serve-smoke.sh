@@ -95,6 +95,30 @@ jq -e '.magic == false' "$WORK/m2.json" >/dev/null || fail "magic=off still repo
 [ "$(jq -cS '.answers | sort' "$WORK/m1.json")" = "$(jq -cS '.answers | sort' "$WORK/m2.json")" ] \
 	|| fail "magic changed the point-query answers"
 
+echo "serve-smoke: bounded recursive query (recursion elimination)"
+curl -fsS -X POST "$BASE/v1/datasets/quickstart/facts" --data-binary '
+	likes(1, 10). likes(2, 20). trendy(1). trendy(2).
+' >"$WORK/e0.json" || fail "likes/trendy insert failed"
+jq -e '.facts_added == 4' "$WORK/e0.json" >/dev/null || fail "unexpected insert: $(cat "$WORK/e0.json")"
+BOUNDED='{
+  "program": "buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), buys(Z, Y). ?- buys.",
+  "dataset": "quickstart"
+}'
+curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$BOUNDED" >"$WORK/e1.json" || fail "bounded query failed"
+jq -e '.elim == true and .answer_count == 4' "$WORK/e1.json" >/dev/null \
+	|| fail "bounded query did not evaluate via elim: $(cat "$WORK/e1.json")"
+
+echo "serve-smoke: same bounded query with elim off — answers must match"
+BOUNDED_OFF='{
+  "program": "buys(X, Y) :- likes(X, Y). buys(X, Y) :- trendy(X), buys(Z, Y). ?- buys.",
+  "dataset": "quickstart",
+  "elim": "off"
+}'
+curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' -d "$BOUNDED_OFF" >"$WORK/e2.json" || fail "elim=off query failed"
+jq -e '.elim == false' "$WORK/e2.json" >/dev/null || fail "elim=off still reports elim: $(cat "$WORK/e2.json")"
+[ "$(jq -cS '.answers | sort' "$WORK/e1.json")" = "$(jq -cS '.answers | sort' "$WORK/e2.json")" ] \
+	|| fail "elim changed the bounded-query answers"
+
 echo "serve-smoke: linting a program with a known-dead rule"
 LINT='{
   "program": "p(X) :- a(X, Y), b(Y, X). q(X) :- p(X). r(X) :- c(X, X). r(X) :- p(X), c(X, X). ?- r.",
@@ -115,6 +139,7 @@ grep -q '^sqod_requests_total' "$WORK/metrics.txt" || fail "sqod_requests_total 
 grep -Eq '^sqod_lint_runs_total [1-9]' "$WORK/metrics.txt" || fail "sqod_lint_runs_total not positive"
 grep -Eq '^sqod_lint_findings_total [1-9]' "$WORK/metrics.txt" || fail "sqod_lint_findings_total not positive"
 grep -Eq '^sqod_eval_magic_total [1-9]' "$WORK/metrics.txt" || fail "sqod_eval_magic_total not positive"
+grep -Eq '^sqod_eval_elim_total [1-9]' "$WORK/metrics.txt" || fail "sqod_eval_elim_total not positive"
 
 echo "serve-smoke: SIGTERM — expecting a clean drain"
 kill -TERM "$SQOD_PID"

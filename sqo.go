@@ -44,6 +44,7 @@ import (
 	"io"
 
 	"repro/internal/ast"
+	"repro/internal/bounded"
 	"repro/internal/contain"
 	"repro/internal/emptiness"
 	"repro/internal/eval"
@@ -210,6 +211,54 @@ const (
 // EvalOptions.Magic.
 func ParseMagicMode(s string) (MagicMode, error) {
 	return eval.ParseMagicMode(s)
+}
+
+// ElimMode controls the bounded-recursion elimination rewrite applied
+// by Query/QueryWith/QueryCtx ahead of the magic-sets rewrite:
+// ElimAuto (the default) and ElimOn run the boundedness analyzer and,
+// for predicates whose recursion is provably bounded, replace the
+// fixpoint with the equivalent flat union of conjunctive queries,
+// falling back to fixpoint evaluation when no predicate is provably
+// bounded; ElimOff skips the analysis entirely. Answers are identical
+// in every mode.
+type ElimMode = eval.ElimMode
+
+// Elim modes accepted by EvalOptions.Elim.
+const (
+	ElimAuto = eval.ElimAuto
+	ElimOn   = eval.ElimOn
+	ElimOff  = eval.ElimOff
+)
+
+// ParseElimMode parses an elim mode name ("auto", "on", "off"; the
+// empty string means auto), for wiring flags and config knobs to
+// EvalOptions.Elim.
+func ParseElimMode(s string) (ElimMode, error) {
+	return eval.ParseElimMode(s)
+}
+
+// ErrNotBounded is returned by EliminateRecursion when no
+// self-recursive predicate of the program is provably bounded within
+// the analyzer's budgets; test with errors.Is. Query evaluation never
+// surfaces it — QueryCtx falls back to the fixpoint silently, exactly
+// like an inapplicable magic rewrite.
+var ErrNotBounded = bounded.ErrNotBounded
+
+// EliminateRecursion runs the boundedness analyzer on p's
+// self-recursive predicates and, for every predicate whose k-fold
+// unfolding is contained in its (k-1)-fold unfolding (checked with the
+// CQ-containment procedure under the analyzer's default budgets),
+// returns an equivalent program with that predicate's fixpoint
+// compiled into a flat union of conjunctive queries. The input is not
+// mutated. Returns ErrNotBounded when nothing is eliminable — callers
+// that want the fallback applied automatically should set
+// EvalOptions.Elim instead of calling this directly.
+func EliminateRecursion(p *Program) (*Program, error) {
+	res, err := bounded.Rewrite(p, bounded.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Program, nil
 }
 
 // DefaultEvalOptions returns the engine defaults used by Eval:
